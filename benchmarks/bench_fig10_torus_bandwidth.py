@@ -1,0 +1,33 @@
+"""Figure 10: bandwidth of MPI_Bcast over the torus (large messages).
+
+Paper claims: ``Torus+Shaddr`` reaches a 2.9x speedup over the current
+``Torus Direct Put`` at 2 MB and ``Torus+FIFO`` 1.4x; Shaddr's bandwidth
+drops at 4 MB because the working set exceeds the 8 MB L3, while the
+DMA-bound baseline stays flat.
+"""
+
+from conftest import publish
+
+from repro.bench.experiments import fig10_torus_bandwidth
+
+
+def test_fig10_torus_bandwidth(benchmark):
+    result = benchmark.pedantic(
+        fig10_torus_bandwidth, rounds=1, iterations=1
+    )
+    publish(result)
+    shaddr = result.series_by_label("Torus+Shaddr").values
+    fifo = result.series_by_label("Torus+FIFO").values
+    dput = result.series_by_label("Torus Direct Put").values
+    smp = result.series_by_label("Torus Direct Put(SMP)").values
+    # Ordering at every size: Shaddr > FIFO > Direct Put; SMP is the roof.
+    for i in range(len(shaddr)):
+        assert shaddr[i] > fifo[i] > dput[i]
+        assert smp[i] >= shaddr[i]
+    # Headline factors at 2 MB (paper: 2.9x and 1.4x).
+    assert 2.4 <= result.metrics["shaddr_speedup_at_2M"] <= 3.4
+    assert 1.2 <= result.metrics["fifo_speedup_at_2M"] <= 1.7
+    # The L3 droop: Shaddr loses bandwidth from 2 MB to 4 MB...
+    assert result.metrics["shaddr_droop_4M_vs_2M"] < 0.95
+    # ...while the DMA-bound baseline stays flat.
+    assert abs(dput[-1] / dput[-2] - 1.0) < 0.10

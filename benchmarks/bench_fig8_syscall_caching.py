@@ -1,0 +1,33 @@
+"""Figure 8: overhead of the window-mapping system calls.
+
+Paper claims: repeatedly invoking the two mapping system calls per buffer
+use is "a big source of overhead"; caching the mapping (as the proposed
+schemes do internally) removes it.  The gap is largest at small/medium
+messages and the series converge for large ones.
+"""
+
+from conftest import publish
+
+from repro.bench.experiments import fig8_syscall_caching
+
+
+def test_fig8_syscall_caching(benchmark):
+    result = benchmark.pedantic(fig8_syscall_caching, rounds=1, iterations=1)
+    publish(result)
+    caching = result.series_by_label(
+        "CollectiveNetwork+Shaddr+caching"
+    ).values
+    nocaching = result.series_by_label(
+        "CollectiveNetwork+Shaddr+nocaching"
+    ).values
+    # Caching never loses.
+    for c, n in zip(caching, nocaching):
+        assert c >= n
+    # The penalty matters most at the small end...
+    assert result.metrics["max_caching_gain"] > 1.2
+    # ...and largely washes out at the large end.
+    assert result.metrics["gain_at_largest"] < 1.10
+    assert (
+        result.metrics["gain_at_largest"]
+        < result.metrics["max_caching_gain"]
+    )

@@ -1,0 +1,24 @@
+"""Figure 9: scaling of the shared-address tree broadcast.
+
+Paper claims: "the algorithm scales well for different process
+configurations" — bandwidth curves for 1024..8192 processes nearly coincide
+because the collective network's throughput does not depend on machine size
+(only the logarithmic traversal latency grows).
+"""
+
+from conftest import publish
+
+from repro.bench.experiments import fig9_scaling
+
+
+def test_fig9_scaling(benchmark):
+    result = benchmark.pedantic(fig9_scaling, rounds=1, iterations=1)
+    publish(result)
+    # Bandwidth at the largest message varies by well under 10 % across an
+    # 8x range of machine sizes.
+    assert result.metrics["spread_at_largest"] < 0.10
+    # Larger machines are never dramatically slower at any size.
+    smallest = result.series[0].values
+    largest = result.series[-1].values
+    for a, b in zip(smallest, largest):
+        assert b > 0.8 * a

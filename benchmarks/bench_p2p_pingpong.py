@@ -1,0 +1,57 @@
+"""Point-to-point ping-pong: the eager/rendezvous protocol crossover.
+
+Not a figure of the paper, but the substrate its collectives stand on (the
+DCMF eager and rendezvous paths).  The benchmark sweeps message sizes and
+asserts the crossover: eager wins short messages (no handshake),
+rendezvous wins long ones (no staging copy).
+"""
+
+from conftest import publish
+
+from repro.bench.experiments import ExperimentResult
+from repro.bench.report import Series
+from repro.hardware import Machine, Mode
+from repro.mpi.p2p import run_pingpong
+from repro.util.units import KIB, MIB
+
+SIZES = [64, 1 * KIB, 4 * KIB, 16 * KIB, 128 * KIB, 1 * MIB]
+
+
+def run_p2p_crossover() -> ExperimentResult:
+    series = [Series("eager (us)"), Series("rendezvous (us)")]
+    for size in SIZES:
+        for s, protocol in zip(series, ("eager", "rendezvous")):
+            machine = Machine(torus_dims=(4, 4, 1), mode=Mode.QUAD)
+            s.add(run_pingpong(machine, size, protocol=protocol).latency_us)
+    eager, rndv = series[0].values, series[1].values
+    crossover = next(
+        (SIZES[i] for i in range(len(SIZES)) if rndv[i] < eager[i]),
+        None,
+    )
+    return ExperimentResult(
+        "p2p_pingpong",
+        "Message size (bytes)",
+        SIZES,
+        series,
+        metrics={
+            "eager_latency_64B": eager[0],
+            "crossover_bytes": float(crossover or -1),
+            "rndv_gain_at_1M": eager[-1] / rndv[-1],
+        },
+    )
+
+
+def test_p2p_protocol_crossover(benchmark):
+    result = benchmark.pedantic(run_p2p_crossover, rounds=1, iterations=1)
+    publish(result)
+    eager = result.series_by_label("eager (us)").values
+    rndv = result.series_by_label("rendezvous (us)").values
+    # Eager wins the short end; rendezvous the long end.
+    assert eager[0] < rndv[0]
+    assert rndv[-1] < eager[-1]
+    # There is exactly one crossover (latency curves are monotone in size).
+    flips = sum(
+        1 for i in range(len(SIZES) - 1)
+        if (eager[i] < rndv[i]) != (eager[i + 1] < rndv[i + 1])
+    )
+    assert flips == 1

@@ -1,0 +1,25 @@
+"""Table I: allreduce throughput over the torus (doubles), New vs Current.
+
+Paper claims: "we observe performance benefits across the different
+messages but the algorithm is mostly useful for large messages. ... the
+algorithm provides about 33% improvement for 512K doubles."
+"""
+
+from conftest import publish
+
+from repro.bench.experiments import table1_allreduce
+
+
+def test_table1_allreduce(benchmark):
+    result = benchmark.pedantic(table1_allreduce, rounds=1, iterations=1)
+    publish(result)
+    new = result.series_by_label("New (MB/s)").values
+    cur = result.series_by_label("Current (MB/s)").values
+    ratios = [n / c for n, c in zip(new, cur)]
+    # New wins at every count...
+    for r in ratios:
+        assert r > 1.0
+    # ...benefits concentrate at large messages (monotone-ish growth)...
+    assert ratios[-1] > ratios[0]
+    # ...landing in the paper's ~33 % class at 512K doubles.
+    assert 1.2 <= result.metrics["improvement_at_512K"] <= 1.6

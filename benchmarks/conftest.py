@@ -1,0 +1,26 @@
+"""Shared helpers for the figure/table regeneration benchmarks.
+
+Each benchmark regenerates one figure or table of the paper's evaluation
+section: it runs the experiment once under pytest-benchmark (so wall-clock
+cost is tracked), prints the series in the paper's layout, writes the table
+to ``benchmarks/results/``, and asserts the paper's *shape* claims (who
+wins, by roughly what factor).  Absolute MB/s values are simulator outputs,
+not testbed measurements — see EXPERIMENTS.md.
+"""
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def publish(result, extra_lines=()):
+    """Print and persist one regenerated figure/table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    lines = [f"== {result.name} ==", result.table()]
+    for key, value in result.metrics.items():
+        lines.append(f"{key}: {value:.3f}")
+    lines.extend(extra_lines)
+    text = "\n".join(lines)
+    print("\n" + text)
+    (RESULTS_DIR / f"{result.name}.txt").write_text(text + "\n")
+    return result

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Real-thread demo of the concurrent Bcast FIFO (paper section IV-B).
+
+One producer thread plays the "master process": it receives pipeline chunks
+of a message (here: generated locally) and enqueues them into the Bcast
+FIFO, multiplexing several "connections" (the torus colors) with per-slot
+metadata.  Three consumer threads — the peer processes — each reassemble
+the complete message from the shared FIFO.  Everything is genuine
+``threading`` + ``numpy``; nothing is simulated.
+
+Run:  python examples/fifo_threads.py
+"""
+
+import threading
+import time
+
+import numpy as np
+
+from repro import BcastFifo, CompletionCounter
+
+MESSAGE_BYTES = 512 * 1024
+SLOT_BYTES = 8 * 1024
+SLOTS = 16
+CONSUMERS = 3
+CONNECTIONS = 6
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    message = rng.integers(0, 256, size=MESSAGE_BYTES, dtype=np.uint8)
+    fifo = BcastFifo(slots=SLOTS, slot_bytes=SLOT_BYTES, consumers=CONSUMERS)
+    done = CompletionCounter(CONSUMERS)
+    results = [np.zeros(MESSAGE_BYTES, dtype=np.uint8)
+               for _ in range(CONSUMERS)]
+
+    # Partition the message across "connections" (colors), then packetize
+    # each partition into FIFO slots, exactly like the Torus+FIFO scheme.
+    pieces = []
+    part = MESSAGE_BYTES // CONNECTIONS
+    for conn in range(CONNECTIONS):
+        start = conn * part
+        end = MESSAGE_BYTES if conn == CONNECTIONS - 1 else start + part
+        for off in range(start, end, SLOT_BYTES):
+            hi = min(off + SLOT_BYTES, end)
+            pieces.append((conn, off, hi))
+    total_pieces = len(pieces)
+
+    def producer() -> None:
+        for conn, off, hi in pieces:
+            fifo.enqueue(message[off:hi], meta=(conn, off, hi - off),
+                         timeout=30)
+
+    def consumer(idx: int) -> None:
+        cursor = fifo.consumer()
+        for _ in range(total_pieces):
+            payload, (conn, off, size) = cursor.read(timeout=30)
+            results[idx][off:off + size] = np.frombuffer(
+                payload, dtype=np.uint8
+            )
+        done.signal()
+
+    t0 = time.perf_counter()
+    threads = [threading.Thread(target=producer)] + [
+        threading.Thread(target=consumer, args=(i,))
+        for i in range(CONSUMERS)
+    ]
+    for t in threads:
+        t.start()
+    done.wait(timeout=60)
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+
+    for i in range(CONSUMERS):
+        assert np.array_equal(results[i], message), f"consumer {i} mismatch"
+    moved = MESSAGE_BYTES * (1 + CONSUMERS)
+    print(f"broadcast {MESSAGE_BYTES} B through a {SLOTS}x{SLOT_BYTES} B "
+          f"Bcast FIFO to {CONSUMERS} consumers over {CONNECTIONS} "
+          f"multiplexed connections")
+    print(f"pieces: {total_pieces}, wall time {elapsed * 1e3:.1f} ms, "
+          f"aggregate staging traffic {moved / 1e6:.1f} MB "
+          f"({moved / elapsed / 1e6:.0f} MB/s through the FIFO)")
+    print("every consumer reassembled the message bit-exactly")
+
+
+if __name__ == "__main__":
+    main()

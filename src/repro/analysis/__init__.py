@@ -1,0 +1,27 @@
+"""Analytic performance models.
+
+Closed-form steady-state bounds for every collective algorithm, derived
+directly from :class:`~repro.hardware.params.BGPParams` and the route
+schedules — the same arithmetic the paper argues with ("the DMA ... is not
+enough to concurrently transfer the data within the node") and the same
+arithmetic used to calibrate the simulator.
+
+The test suite cross-validates simulator against model: measured bandwidth
+never exceeds the analytic ceiling, and approaches it at large messages.
+"""
+
+from repro.analysis.model import (
+    Bound,
+    Prediction,
+    predict_torus_bcast,
+    predict_tree_bcast,
+    predict_tree_latency,
+)
+
+__all__ = [
+    "Bound",
+    "Prediction",
+    "predict_torus_bcast",
+    "predict_tree_bcast",
+    "predict_tree_latency",
+]

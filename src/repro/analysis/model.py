@@ -1,0 +1,237 @@
+"""Closed-form steady-state and latency models.
+
+Bandwidth predictions enumerate every candidate bottleneck as a
+:class:`Bound` (payload MB/s ceiling); the prediction is their minimum.
+DMA bounds are computed *exactly* per node from the rectangle-route roles
+— no simulation, just accounting of raw bytes per payload byte.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.hardware.memory import MemoryModel
+from repro.hardware.params import BGPParams
+from repro.msg.color import torus_colors
+from repro.msg.routes import RectangleSchedule
+
+
+@dataclass(frozen=True)
+class Bound:
+    """One candidate bottleneck: a named payload-rate ceiling (MB/s)."""
+
+    name: str
+    limit: float
+
+
+@dataclass
+class Prediction:
+    """A set of bounds; the prediction is the tightest one."""
+
+    bounds: List[Bound] = field(default_factory=list)
+
+    def add(self, name: str, limit: float) -> None:
+        self.bounds.append(Bound(name, limit))
+
+    @property
+    def bottleneck(self) -> Bound:
+        if not self.bounds:
+            raise ValueError("no bounds recorded")
+        return min(self.bounds, key=lambda b: b.limit)
+
+    @property
+    def value(self) -> float:
+        """The predicted ceiling in MB/s."""
+        return self.bottleneck.limit
+
+    def __str__(self) -> str:
+        lines = [
+            f"  {b.name:<28} {b.limit:9.1f} MB/s"
+            + ("   <-- bottleneck" if b is self.bottleneck else "")
+            for b in sorted(self.bounds, key=lambda b: b.limit)
+        ]
+        return "\n".join(lines)
+
+
+class _TopologyAccountant:
+    """Per-node DMA/wire accounting for the six-color rectangle routes.
+
+    For each node, sums over colors the raw DMA bytes moved per payload
+    byte of the *whole message*: receptions count 1 and each line-broadcast
+    injection counts 1, weighted by the color's share of the message.
+    """
+
+    def __init__(self, dims: Tuple[int, int, int], ncolors: int, root: int = 0):
+        # Topology helpers only — build a throwaway torus facade.
+        from repro.hardware.machine import Machine, Mode
+
+        self._machine = Machine(torus_dims=dims, mode=Mode.SMP)
+        self.torus = self._machine.torus
+        self.colors = torus_colors(ncolors)
+        # Colors carry (almost exactly) equal shares of the message.
+        self.shares = [1.0 / ncolors] * ncolors
+        self.root = root
+
+    def worst_network_dma_per_byte(self) -> float:
+        """Max over nodes of raw network-DMA bytes per payload byte."""
+        worst = 0.0
+        for node in range(self.torus.nnodes):
+            load = 0.0
+            for color, share in zip(self.colors, self.shares):
+                sched = RectangleSchedule(self.torus, self.root, color)
+                role = sched.role(node)
+                receives = 0 if role.receive_phase == -1 else 1
+                injections = len(role.relays)
+                if role.receive_phase == -1:
+                    injections = len(sched.phase_dims)
+                load += share * (receives + injections)
+            worst = max(worst, load)
+        return worst
+
+
+def predict_torus_bcast(
+    params: BGPParams,
+    algorithm: str,
+    dims: Tuple[int, int, int],
+    nbytes: int,
+    ppn: int = 4,
+) -> Prediction:
+    """Steady-state ceiling of a torus broadcast algorithm.
+
+    ``algorithm`` is one of ``torus-direct-put`` / ``torus-direct-put-smp``
+    / ``torus-fifo`` / ``torus-shaddr``.
+    """
+    regime = MemoryModel(params).regime(_bcast_working_set(nbytes, ppn))
+    ncolors = 6
+    prediction = Prediction()
+    # Wire ceiling: each color's route tops out at one link's rate.
+    prediction.add("wire (6 colors x link)", ncolors * params.torus_link_bw)
+    accountant = _TopologyAccountant(dims, ncolors)
+    network_dma = accountant.worst_network_dma_per_byte()
+    npeers = ppn - 1
+    if algorithm == "torus-direct-put":
+        dma_per_byte = network_dma + npeers * params.dma_local_copy_weight
+        mem_per_byte = 2.0 + 2.0 * npeers  # net write+read + peer copies
+    elif algorithm == "torus-direct-put-smp":
+        dma_per_byte = network_dma
+        mem_per_byte = 2.0
+    elif algorithm == "torus-fifo":
+        dma_per_byte = network_dma
+        mem_per_byte = 2.0 + 2.0 + 2.0 * npeers  # net + staging in + outs
+        prediction.add("master staging copy", regime.fifo_copy_cap)
+    elif algorithm == "torus-shaddr":
+        dma_per_byte = network_dma
+        mem_per_byte = 2.0 + 2.0 * npeers
+        prediction.add("peer direct copy", regime.core_copy_cap)
+    else:
+        raise KeyError(f"unknown torus bcast algorithm {algorithm!r}")
+    if dma_per_byte > 0:
+        prediction.add(
+            f"DMA budget ({dma_per_byte:.2f} raw B/B)",
+            params.dma_total_bw / dma_per_byte,
+        )
+    if mem_per_byte > 0:
+        prediction.add(
+            f"memory port ({mem_per_byte:.2f} raw B/B)",
+            regime.raw_capacity / mem_per_byte,
+        )
+    return prediction
+
+
+def predict_tree_bcast(
+    params: BGPParams,
+    algorithm: str,
+    nbytes: int,
+    ppn: int = 4,
+) -> Prediction:
+    """Steady-state ceiling of a collective-network broadcast algorithm."""
+    regime = MemoryModel(params).regime(_bcast_working_set(nbytes, ppn))
+    prediction = Prediction()
+    prediction.add("tree wire", params.tree_link_bw)
+    npeers = max(0, ppn - 1)
+    if algorithm == "tree-smp":
+        prediction.add("inject core", params.tree_core_inject_bw)
+        prediction.add("receive core", params.tree_core_recv_bw)
+    elif algorithm in ("tree-dma-fifo", "tree-dma-direct-put", "tree-shmem"):
+        # One core both injects and receives: the stages serialize.
+        serialized = 1.0 / (
+            1.0 / params.tree_core_inject_bw
+            + 1.0 / params.tree_core_recv_bw
+        )
+        prediction.add("single tree core (inject+recv)", serialized)
+        if algorithm == "tree-dma-fifo":
+            prediction.add("peer FIFO drain", regime.fifo_copy_cap)
+            prediction.add(
+                "DMA fifo delivery",
+                params.dma_total_bw / max(1, npeers),
+            )
+        elif algorithm == "tree-dma-direct-put":
+            prediction.add(
+                "DMA direct put",
+                params.dma_total_bw
+                / max(1e-9, npeers * params.dma_local_copy_weight),
+            )
+        else:  # tree-shmem: master also copies out of the segment
+            shmem_serialized = 1.0 / (
+                1.0 / params.tree_core_inject_bw
+                + 1.0 / params.tree_core_recv_bw
+                + 1.0 / regime.fifo_copy_cap
+            )
+            prediction.add(
+                "single core (inject+recv+copy)", shmem_serialized
+            )
+    elif algorithm == "tree-shaddr":
+        prediction.add("inject core (rank 0)", params.tree_core_inject_bw)
+        prediction.add("receive core (rank 1)", params.tree_core_recv_bw)
+        # Rank 2 performs two copies per byte (own buffer + injector's).
+        prediction.add("rank-2 double copy", regime.core_copy_cap / 2.0)
+    else:
+        raise KeyError(f"unknown tree bcast algorithm {algorithm!r}")
+    return prediction
+
+
+def predict_tree_latency(
+    params: BGPParams,
+    nnodes: int,
+    nbytes: int,
+    algorithm: str = "tree-smp",
+) -> float:
+    """Closed-form short-message latency of a tree broadcast (µs).
+
+    Components: MPI software entry, injection startup, payload injection,
+    up-and-down traversal (2 x depth hops), payload reception, plus the
+    algorithm's intra-node handoff.
+    """
+    depth = max(1, math.ceil(math.log2(max(2, nnodes))))
+    base = (
+        params.mpi_overhead
+        + params.tree_inject_startup
+        + nbytes / params.tree_core_inject_bw
+        + 2.0 * depth * params.tree_hop_latency
+        + nbytes / params.tree_core_recv_bw
+    )
+    if algorithm == "tree-smp":
+        return base
+    regime = MemoryModel(params).regime(nbytes * 4)
+    if algorithm == "tree-shmem":
+        return (
+            base
+            + params.flag_cost  # staging flag write
+            + params.flag_cost  # peer's flag observation
+            + params.shmem_chunk_overhead
+            + nbytes / regime.fifo_copy_cap  # peer copy out
+        )
+    if algorithm == "tree-dma-fifo":
+        return (
+            base
+            + params.dma_startup
+            + params.dma_fifo_overhead
+            + nbytes / regime.fifo_copy_cap
+        )
+    raise KeyError(f"no latency model for {algorithm!r}")
+
+
+def _bcast_working_set(nbytes: int, ppn: int) -> int:
+    return nbytes * ppn

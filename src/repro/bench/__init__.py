@@ -1,0 +1,17 @@
+"""Benchmark harness: the Fig-5 microbenchmark and per-figure experiments."""
+
+from repro.bench.harness import run_allgather, run_allreduce, run_bcast
+from repro.bench.profile import UtilizationReport, format_report, utilization_report
+from repro.bench.report import Series, format_table, speedup
+
+__all__ = [
+    "run_bcast",
+    "run_allreduce",
+    "run_allgather",
+    "Series",
+    "format_table",
+    "speedup",
+    "UtilizationReport",
+    "utilization_report",
+    "format_report",
+]

@@ -1,0 +1,287 @@
+"""Per-figure/table experiment definitions (section VI of the paper).
+
+Every experiment returns an :class:`ExperimentResult` carrying the x-axis,
+the per-algorithm series, and derived headline metrics; the ``benchmarks/``
+directory wraps each in a pytest-benchmark target that regenerates the
+figure's rows, prints them in the paper's layout, and asserts the *shape*
+(who wins, by roughly what factor, where crossovers fall).
+
+Machine sizes: the paper ran two racks (8192 processes).  Bandwidth shapes
+are set by node-local contention, so the bandwidth experiments default to a
+4x4x4 torus (256 processes in quad mode) for tractable simulation times;
+the latency and scaling experiments, whose effects come from tree depth,
+run machines up to 2048 nodes (8192 processes).  ``EXPERIMENTS.md`` records
+the paper-vs-measured comparison for every entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.harness import run_allreduce, run_bcast
+from repro.bench.report import Series, format_table
+from repro.hardware.machine import Machine, Mode
+from repro.hardware.params import BGPParams
+from repro.util.units import KIB, MIB
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated figure/table."""
+
+    name: str
+    x_label: str
+    x_values: List[int]
+    series: List[Series]
+    #: derived headline numbers (speedups, overheads) keyed by label
+    metrics: Dict[str, float] = field(default_factory=dict)
+    x_format: str = "bytes"
+
+    def series_by_label(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(label)
+
+    def table(self, value_format: str = "{:.1f}") -> str:
+        return format_table(
+            self.x_label, self.x_values, self.series,
+            value_format=value_format, x_format=self.x_format,
+        )
+
+
+def _machine(dims: Tuple[int, int, int], mode: Mode,
+             params: Optional[BGPParams] = None) -> Machine:
+    return Machine(torus_dims=dims, mode=mode, params=params)
+
+
+# --------------------------------------------------------------------------
+# Figure 6: latency of MPI_Bcast over the collective network (short msgs)
+# --------------------------------------------------------------------------
+def fig6_tree_latency(
+    dims: Tuple[int, int, int] = (8, 16, 16),
+    sizes: Sequence[int] = (4, 16, 64, 256, 1024),
+    iters: int = 2,
+) -> ExperimentResult:
+    """Fig 6: ``CollectiveNetwork+Shmem`` vs ``+DMA FIFO`` vs ``(SMP)``.
+
+    Paper (8192 processes): SMP-mode hardware latency ~5.41 µs, the shmem
+    scheme 5.83 µs (+0.42 µs), the DMA path considerably slower.  The
+    default 8x16x16 torus gives the paper's 2048 nodes.
+    """
+    algos = [
+        ("CollectiveNetwork+Shmem", "tree-shmem", Mode.QUAD),
+        ("CollectiveNetwork+DMA FIFO", "tree-dma-fifo", Mode.QUAD),
+        ("CollectiveNetwork (SMP)", "tree-smp", Mode.SMP),
+    ]
+    series = [Series(label) for label, _n, _m in algos]
+    for size in sizes:
+        for s, (_label, name, mode) in zip(series, algos):
+            result = run_bcast(_machine(dims, mode), name, size, iters=iters)
+            s.add(result.elapsed_us)
+    shmem = series[0].values
+    dma = series[1].values
+    smp = series[2].values
+    metrics = {
+        "shmem_latency_us_smallest": shmem[0],
+        "shmem_overhead_us_vs_smp": shmem[0] - smp[0],
+        "dma_overhead_us_vs_smp": dma[0] - smp[0],
+    }
+    return ExperimentResult(
+        "fig6", "Message size (bytes)", list(sizes), series, metrics
+    )
+
+
+# --------------------------------------------------------------------------
+# Figure 7: bandwidth of MPI_Bcast over the collective network
+# --------------------------------------------------------------------------
+def fig7_tree_bandwidth(
+    dims: Tuple[int, int, int] = (4, 4, 4),
+    sizes: Sequence[int] = (
+        8 * KIB, 32 * KIB, 128 * KIB, 512 * KIB, 2 * MIB, 4 * MIB
+    ),
+) -> ExperimentResult:
+    """Fig 7: ``+Shaddr`` vs ``+DMA FIFO`` vs ``+DMA Direct Put`` vs SMP.
+
+    Paper: the shared-address core-specialization scheme outperforms every
+    quad-mode algorithm, improving medium-message throughput by up to ~45 %
+    (128 KB) over the DMA variants while approaching the SMP envelope.
+    """
+    algos = [
+        ("CollectiveNetwork+Shaddr", "tree-shaddr", Mode.QUAD),
+        ("CollectiveNetwork+DMA FIFO", "tree-dma-fifo", Mode.QUAD),
+        ("CollectiveNetwork+DMA Direct Put", "tree-dma-direct-put", Mode.QUAD),
+        ("CollectiveNetwork (SMP)", "tree-smp", Mode.SMP),
+    ]
+    series = [Series(label) for label, _n, _m in algos]
+    for size in sizes:
+        for s, (_label, name, mode) in zip(series, algos):
+            result = run_bcast(_machine(dims, mode), name, size)
+            s.add(result.bandwidth_mbs)
+    shaddr = series[0].values
+    dma_fifo = series[1].values
+    dma_dput = series[2].values
+    idx_128k = list(sizes).index(128 * KIB)
+    metrics = {
+        "shaddr_gain_vs_dma_at_128K": shaddr[idx_128k]
+        / max(dma_fifo[idx_128k], dma_dput[idx_128k]),
+        "shaddr_peak_mbs": max(shaddr),
+    }
+    return ExperimentResult(
+        "fig7", "Message size (bytes)", list(sizes), series, metrics
+    )
+
+
+# --------------------------------------------------------------------------
+# Figure 8: system-call (window-mapping) overhead
+# --------------------------------------------------------------------------
+def fig8_syscall_caching(
+    dims: Tuple[int, int, int] = (2, 2, 2),
+    sizes: Sequence[int] = (
+        1 * KIB, 8 * KIB, 32 * KIB, 128 * KIB, 512 * KIB, 2 * MIB, 4 * MIB
+    ),
+    iters: int = 4,
+) -> ExperimentResult:
+    """Fig 8: ``CollectiveNetwork+Shaddr`` with vs without mapping caching.
+
+    Each use of a peer buffer costs two system calls unless the window
+    service caches the mapping; caching wins most at small/medium sizes and
+    the two series converge for large messages.
+    """
+    series = [
+        Series("CollectiveNetwork+Shaddr+caching"),
+        Series("CollectiveNetwork+Shaddr+nocaching"),
+    ]
+    for size in sizes:
+        for s, caching in zip(series, (True, False)):
+            result = run_bcast(
+                _machine(dims, Mode.QUAD), "tree-shaddr", size,
+                iters=iters, window_caching=caching,
+            )
+            s.add(result.bandwidth_mbs)
+    ratios = [
+        c / n for c, n in zip(series[0].values, series[1].values)
+    ]
+    metrics = {
+        "max_caching_gain": max(ratios),
+        "gain_at_largest": ratios[-1],
+    }
+    return ExperimentResult(
+        "fig8", "Message size (bytes)", list(sizes), series, metrics
+    )
+
+
+# --------------------------------------------------------------------------
+# Figure 9: scaling of the shared-address tree broadcast
+# --------------------------------------------------------------------------
+def fig9_scaling(
+    machines: Sequence[Tuple[int, Tuple[int, int, int]]] = (
+        (1024, (4, 8, 8)),
+        (2048, (8, 8, 8)),
+        (4096, (8, 8, 16)),
+        (8192, (8, 16, 16)),
+    ),
+    sizes: Sequence[int] = (16 * KIB, 128 * KIB, 1 * MIB),
+) -> ExperimentResult:
+    """Fig 9: ``CollectiveNetwork+Shaddr`` at 1024/2048/4096/8192 processes.
+
+    Paper: "the algorithm scales well for different process configurations"
+    — the curves for different machine sizes nearly coincide because the
+    collective network's throughput is size-independent (only the traversal
+    latency grows, logarithmically).
+    """
+    series = [
+        Series(f"CollectiveNetwork+Shaddr({procs})")
+        for procs, _dims in machines
+    ]
+    for size in sizes:
+        for s, (_procs, dims) in zip(series, machines):
+            result = run_bcast(_machine(dims, Mode.QUAD), "tree-shaddr", size)
+            s.add(result.bandwidth_mbs)
+    # Spread of bandwidths across machine sizes at the largest message.
+    last = [s.values[-1] for s in series]
+    metrics = {
+        "spread_at_largest": (max(last) - min(last)) / max(last),
+    }
+    return ExperimentResult(
+        "fig9", "Message size (bytes)", list(sizes), series, metrics
+    )
+
+
+# --------------------------------------------------------------------------
+# Figure 10: bandwidth of MPI_Bcast over the torus (large msgs)
+# --------------------------------------------------------------------------
+def fig10_torus_bandwidth(
+    dims: Tuple[int, int, int] = (4, 4, 4),
+    sizes: Sequence[int] = (
+        64 * KIB, 128 * KIB, 256 * KIB, 512 * KIB, 1 * MIB, 2 * MIB, 4 * MIB
+    ),
+) -> ExperimentResult:
+    """Fig 10: ``Torus+Shaddr`` vs ``Torus+FIFO`` vs ``Torus Direct Put``
+    (quad) vs ``Torus Direct Put (SMP)``.
+
+    Paper: Torus+Shaddr achieves 2.9x over the baseline at 2 MB (and is
+    within ~15 % of the SMP envelope at the 64 KB end); Torus+FIFO reaches
+    1.4x; Shaddr bandwidth drops at 4 MB when the working set exceeds the
+    8 MB L3.
+    """
+    algos = [
+        ("Torus+Shaddr", "torus-shaddr", Mode.QUAD),
+        ("Torus+FIFO", "torus-fifo", Mode.QUAD),
+        ("Torus Direct Put", "torus-direct-put", Mode.QUAD),
+        ("Torus Direct Put(SMP)", "torus-direct-put-smp", Mode.SMP),
+    ]
+    series = [Series(label) for label, _n, _m in algos]
+    for size in sizes:
+        for s, (_label, name, mode) in zip(series, algos):
+            result = run_bcast(_machine(dims, mode), name, size)
+            s.add(result.bandwidth_mbs)
+    shaddr = series[0].values
+    fifo = series[1].values
+    dput = series[2].values
+    smp = series[3].values
+    sizes_list = list(sizes)
+    idx_2m = sizes_list.index(2 * MIB)
+    metrics = {
+        "shaddr_speedup_at_2M": shaddr[idx_2m] / dput[idx_2m],
+        "fifo_speedup_at_2M": fifo[idx_2m] / dput[idx_2m],
+        "shaddr_vs_smp_at_64K": shaddr[0] / smp[0],
+        "shaddr_droop_4M_vs_2M": shaddr[-1] / shaddr[idx_2m],
+    }
+    return ExperimentResult(
+        "fig10", "Message size (bytes)", sizes_list, series, metrics
+    )
+
+
+# --------------------------------------------------------------------------
+# Table I: allreduce throughput over the torus
+# --------------------------------------------------------------------------
+def table1_allreduce(
+    dims: Tuple[int, int, int] = (4, 4, 4),
+    counts: Sequence[int] = (
+        16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024, 256 * 1024, 512 * 1024
+    ),
+) -> ExperimentResult:
+    """Table I: allreduce throughput (doubles), New vs Current.
+
+    Paper: "performance benefits across the different messages but the
+    algorithm is mostly useful for large messages ... about 33 % improvement
+    for 512K doubles."
+    """
+    series = [Series("New (MB/s)"), Series("Current (MB/s)")]
+    names = ["allreduce-torus-shaddr", "allreduce-torus-current"]
+    for count in counts:
+        for s, name in zip(series, names):
+            result = run_allreduce(_machine(dims, Mode.QUAD), name, count)
+            s.add(result.bandwidth_mbs)
+    new = series[0].values
+    cur = series[1].values
+    ratios = [n / c for n, c in zip(new, cur)]
+    metrics = {
+        "improvement_at_512K": ratios[-1],
+        "improvement_at_16K": ratios[0],
+    }
+    return ExperimentResult(
+        "table1", "Doubles", list(counts), series, metrics, x_format="count"
+    )

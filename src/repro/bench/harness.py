@@ -1,0 +1,425 @@
+"""The Fig-5 microbenchmark harness.
+
+The paper measures collectives with::
+
+    for (i = 0; i < ITERS; i++)
+        MPI_Barrier(comm);
+        start = MPI_Wtime();
+        MPI_Bcast(...);
+        elapsed_time += (MPI_Wtime() - start);
+    elapsed_time /= ITERS;
+
+We reproduce that loop in simulation: every rank's coroutine barriers, runs
+its part of the collective, and records its elapsed simulated time.  The
+per-iteration elapsed time is the maximum over ranks (the time at which the
+operation completed machine-wide); the reported number is the mean over
+iterations, just like the pseudo-code.
+
+Window services (shared-address mapping caches) persist across iterations,
+so with caching enabled only the first iteration pays mapping system calls
+— the behaviour Figure 8's "caching" series measures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.collectives.base import BcastInvocation, CollectiveResult
+from repro.collectives.registry import (
+    allgather_algorithm,
+    allreduce_algorithm,
+    alltoall_algorithm,
+    barrier_algorithm,
+    bcast_algorithm,
+    gather_algorithm,
+    reduce_algorithm,
+    scatter_algorithm,
+)
+from repro.hardware.machine import Machine
+from repro.kernel.windows import ProcessWindows
+
+
+def _measure(
+    machine: Machine,
+    make_invocation: Callable[[int], object],
+    iters: int,
+    verify: bool,
+) -> List[List[float]]:
+    """Run the Fig-5 loop; returns per-iteration, per-rank elapsed times."""
+    engine = machine.engine
+    barrier = machine.make_barrier()
+    invocations: Dict[int, object] = {}
+    windows_by_rank: Dict[int, ProcessWindows] = {}
+    times: List[List[float]] = [
+        [0.0] * machine.nprocs for _ in range(iters)
+    ]
+
+    def get_invocation(iteration: int):
+        inv = invocations.get(iteration)
+        if inv is None:
+            inv = make_invocation(iteration)
+            inv.install_windows(windows_by_rank)
+            invocations[iteration] = inv
+        return inv
+
+    # Build iteration 0 eagerly so configuration errors (wrong mode, bad
+    # root) surface as plain exceptions instead of simulation failures.
+    get_invocation(0)
+
+    def rank_loop(rank: int):
+        for iteration in range(iters):
+            yield barrier.wait()
+            inv = get_invocation(iteration)
+            start = engine.now
+            yield from inv.proc(rank)
+            times[iteration][rank] = engine.now - start
+
+    procs = [
+        machine.spawn(rank_loop(rank), name=f"mpi.r{rank}")
+        for rank in range(machine.nprocs)
+    ]
+    engine.run_until_processes_finish(procs)
+    if verify:
+        for inv in invocations.values():
+            inv.verify()
+    return times
+
+
+def run_bcast(
+    machine: Machine,
+    algorithm: Union[str, type],
+    nbytes: int,
+    root: int = 0,
+    iters: int = 1,
+    verify: bool = False,
+    window_caching: bool = True,
+    seed: int = 1234,
+) -> CollectiveResult:
+    """Measure ``MPI_Bcast`` with the given algorithm on ``machine``.
+
+    ``verify=True`` carries a pseudo-random payload through the simulated
+    machine and asserts every rank received it bit-exactly (slower; meant
+    for tests and small configurations).
+    """
+    cls = bcast_algorithm(algorithm) if isinstance(algorithm, str) else algorithm
+    payload = None
+    if verify:
+        rng = np.random.default_rng(seed)
+        payload = rng.integers(0, 256, size=nbytes, dtype=np.uint8)
+    machine.set_working_set(_bcast_working_set(machine, nbytes))
+
+    def make_invocation(_iteration: int) -> BcastInvocation:
+        return cls(
+            machine,
+            root,
+            nbytes,
+            payload=payload,
+            window_caching=window_caching,
+        )
+
+    times = _measure(machine, make_invocation, iters, verify)
+    per_iter = [max(row) for row in times]
+    return CollectiveResult(
+        algorithm=cls.name,
+        nbytes=nbytes,
+        nprocs=machine.nprocs,
+        elapsed_us=sum(per_iter) / len(per_iter),
+        iterations_us=per_iter,
+    )
+
+
+def run_allreduce(
+    machine: Machine,
+    algorithm: Union[str, type],
+    count: int,
+    root: int = 0,
+    iters: int = 1,
+    verify: bool = False,
+    window_caching: bool = True,
+    seed: int = 1234,
+) -> CollectiveResult:
+    """Measure ``MPI_Allreduce`` (sum of ``count`` doubles) on ``machine``."""
+    cls = (
+        allreduce_algorithm(algorithm)
+        if isinstance(algorithm, str)
+        else algorithm
+    )
+    values = None
+    if verify:
+        rng = np.random.default_rng(seed)
+        # Small integers stored as doubles: bit-exact under reordering.
+        values = rng.integers(0, 16, size=(machine.nprocs, count)).astype(
+            np.float64
+        )
+    nbytes = count * 8
+    machine.set_working_set(_allreduce_working_set(machine, nbytes))
+
+    def make_invocation(_iteration: int):
+        return cls(
+            machine,
+            count,
+            values=values,
+            window_caching=window_caching,
+        )
+
+    times = _measure(machine, make_invocation, iters, verify)
+    per_iter = [max(row) for row in times]
+    return CollectiveResult(
+        algorithm=cls.name,
+        nbytes=nbytes,
+        nprocs=machine.nprocs,
+        elapsed_us=sum(per_iter) / len(per_iter),
+        iterations_us=per_iter,
+    )
+
+
+def run_allgather(
+    machine: Machine,
+    algorithm: Union[str, type],
+    block_bytes: int,
+    iters: int = 1,
+    verify: bool = False,
+    window_caching: bool = True,
+    seed: int = 1234,
+) -> CollectiveResult:
+    """Measure an ``MPI_Allgather`` with per-rank blocks of ``block_bytes``."""
+    cls = (
+        allgather_algorithm(algorithm)
+        if isinstance(algorithm, str)
+        else algorithm
+    )
+    blocks = None
+    if verify:
+        rng = np.random.default_rng(seed)
+        blocks = rng.integers(
+            0, 256, size=(machine.nprocs, block_bytes), dtype=np.uint8
+        )
+    nbytes = block_bytes * machine.nprocs
+    # Every rank's assembled buffer is hot on every node.
+    machine.set_working_set(nbytes * machine.ppn)
+
+    def make_invocation(_iteration: int):
+        return cls(
+            machine,
+            block_bytes,
+            blocks=blocks,
+            window_caching=window_caching,
+        )
+
+    times = _measure(machine, make_invocation, iters, verify)
+    per_iter = [max(row) for row in times]
+    return CollectiveResult(
+        algorithm=cls.name,
+        nbytes=nbytes,
+        nprocs=machine.nprocs,
+        elapsed_us=sum(per_iter) / len(per_iter),
+        iterations_us=per_iter,
+    )
+
+
+def run_alltoall(
+    machine: Machine,
+    algorithm: Union[str, type],
+    block_bytes: int,
+    iters: int = 1,
+    verify: bool = False,
+    window_caching: bool = True,
+    seed: int = 1234,
+) -> CollectiveResult:
+    """Measure an ``MPI_Alltoall`` with per-pair blocks of ``block_bytes``."""
+    cls = (
+        alltoall_algorithm(algorithm)
+        if isinstance(algorithm, str)
+        else algorithm
+    )
+    blocks = None
+    if verify:
+        rng = np.random.default_rng(seed)
+        blocks = rng.integers(
+            0, 256,
+            size=(machine.nprocs, machine.nprocs, block_bytes),
+            dtype=np.uint8,
+        )
+    # Per-rank volume received (the usual alltoall reporting convention).
+    nbytes = block_bytes * machine.nprocs
+    machine.set_working_set(2 * nbytes * machine.ppn)
+
+    def make_invocation(_iteration: int):
+        return cls(
+            machine, block_bytes, blocks=blocks,
+            window_caching=window_caching,
+        )
+
+    times = _measure(machine, make_invocation, iters, verify)
+    per_iter = [max(row) for row in times]
+    return CollectiveResult(
+        algorithm=cls.name,
+        nbytes=nbytes,
+        nprocs=machine.nprocs,
+        elapsed_us=sum(per_iter) / len(per_iter),
+        iterations_us=per_iter,
+    )
+
+
+def run_barrier(
+    machine: Machine,
+    algorithm: Union[str, type] = "barrier-gi",
+    iters: int = 1,
+) -> CollectiveResult:
+    """Measure an ``MPI_Barrier`` (latency in µs; bandwidth is meaningless)."""
+    cls = (
+        barrier_algorithm(algorithm)
+        if isinstance(algorithm, str)
+        else algorithm
+    )
+
+    def make_invocation(_iteration: int):
+        return cls(machine)
+
+    times = _measure(machine, make_invocation, iters, verify=False)
+    per_iter = [max(row) for row in times]
+    return CollectiveResult(
+        algorithm=cls.name,
+        nbytes=0,
+        nprocs=machine.nprocs,
+        elapsed_us=sum(per_iter) / len(per_iter),
+        iterations_us=per_iter,
+    )
+
+
+def run_scatter(
+    machine: Machine,
+    algorithm: Union[str, type],
+    block_bytes: int,
+    iters: int = 1,
+    verify: bool = False,
+    window_caching: bool = True,
+    seed: int = 1234,
+) -> CollectiveResult:
+    """Measure an ``MPI_Scatter`` (root 0) with per-rank blocks."""
+    cls = (
+        scatter_algorithm(algorithm)
+        if isinstance(algorithm, str)
+        else algorithm
+    )
+    blocks = None
+    if verify:
+        rng = np.random.default_rng(seed)
+        blocks = rng.integers(
+            0, 256, size=(machine.nprocs, block_bytes), dtype=np.uint8
+        )
+    nbytes = block_bytes * machine.nprocs
+    machine.set_working_set(block_bytes * machine.ppn)
+
+    def make_invocation(_iteration: int):
+        return cls(
+            machine, block_bytes, blocks=blocks,
+            window_caching=window_caching,
+        )
+
+    times = _measure(machine, make_invocation, iters, verify)
+    per_iter = [max(row) for row in times]
+    return CollectiveResult(
+        algorithm=cls.name,
+        nbytes=nbytes,
+        nprocs=machine.nprocs,
+        elapsed_us=sum(per_iter) / len(per_iter),
+        iterations_us=per_iter,
+    )
+
+
+def run_reduce(
+    machine: Machine,
+    algorithm: Union[str, type],
+    count: int,
+    iters: int = 1,
+    verify: bool = False,
+    window_caching: bool = True,
+    seed: int = 1234,
+) -> CollectiveResult:
+    """Measure an ``MPI_Reduce`` (sum of ``count`` doubles to rank 0)."""
+    cls = (
+        reduce_algorithm(algorithm)
+        if isinstance(algorithm, str)
+        else algorithm
+    )
+    values = None
+    if verify:
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 16, size=(machine.nprocs, count)).astype(
+            np.float64
+        )
+    nbytes = count * 8
+    machine.set_working_set(2 * nbytes * machine.ppn)
+
+    def make_invocation(_iteration: int):
+        return cls(
+            machine, count, values=values, window_caching=window_caching
+        )
+
+    times = _measure(machine, make_invocation, iters, verify)
+    per_iter = [max(row) for row in times]
+    return CollectiveResult(
+        algorithm=cls.name,
+        nbytes=nbytes,
+        nprocs=machine.nprocs,
+        elapsed_us=sum(per_iter) / len(per_iter),
+        iterations_us=per_iter,
+    )
+
+
+def run_gather(
+    machine: Machine,
+    algorithm: Union[str, type],
+    block_bytes: int,
+    iters: int = 1,
+    verify: bool = False,
+    window_caching: bool = True,
+    seed: int = 1234,
+) -> CollectiveResult:
+    """Measure an ``MPI_Gather`` (root = rank 0) with per-rank blocks."""
+    cls = (
+        gather_algorithm(algorithm)
+        if isinstance(algorithm, str)
+        else algorithm
+    )
+    blocks = None
+    if verify:
+        rng = np.random.default_rng(seed)
+        blocks = rng.integers(
+            0, 256, size=(machine.nprocs, block_bytes), dtype=np.uint8
+        )
+    nbytes = block_bytes * machine.nprocs
+    machine.set_working_set(block_bytes * machine.ppn)
+
+    def make_invocation(_iteration: int):
+        return cls(
+            machine,
+            block_bytes,
+            blocks=blocks,
+            window_caching=window_caching,
+        )
+
+    times = _measure(machine, make_invocation, iters, verify)
+    per_iter = [max(row) for row in times]
+    return CollectiveResult(
+        algorithm=cls.name,
+        nbytes=nbytes,
+        nprocs=machine.nprocs,
+        elapsed_us=sum(per_iter) / len(per_iter),
+        iterations_us=per_iter,
+    )
+
+
+def _bcast_working_set(machine: Machine, nbytes: int) -> int:
+    """Node-local hot bytes during a broadcast: the master's buffer plus one
+    destination buffer per peer process."""
+    return nbytes * machine.ppn
+
+
+def _allreduce_working_set(machine: Machine, nbytes: int) -> int:
+    """Node-local hot bytes during an allreduce: every local process's
+    send and receive partitions are touched."""
+    return 2 * nbytes * machine.ppn

@@ -1,0 +1,56 @@
+"""Formatting helpers for paper-style result tables and series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.util.units import format_bytes
+
+
+@dataclass
+class Series:
+    """One curve of a figure: algorithm name -> value per x-point."""
+
+    label: str
+    values: List[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        self.values.append(value)
+
+
+def format_table(
+    x_label: str,
+    x_values: Sequence[int],
+    series: Sequence[Series],
+    value_format: str = "{:.1f}",
+    x_format: str = "bytes",
+) -> str:
+    """Render series as a fixed-width text table (one row per x value)."""
+    if any(len(s.values) != len(x_values) for s in series):
+        raise ValueError("series length mismatch against x values")
+    headers = [x_label] + [s.label for s in series]
+    rows: List[List[str]] = []
+    for i, x in enumerate(x_values):
+        x_text = format_bytes(x) if x_format == "bytes" else str(x)
+        rows.append(
+            [x_text] + [value_format.format(s.values[i]) for s in series]
+        )
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in rows))
+        for c in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def speedup(new: Sequence[float], baseline: Sequence[float]) -> List[float]:
+    """Element-wise ratio ``new / baseline`` (for improvement factors)."""
+    if len(new) != len(baseline):
+        raise ValueError("length mismatch")
+    return [n / b for n, b in zip(new, baseline)]

@@ -1,0 +1,132 @@
+"""Config-driven parameter sweeps with JSON result persistence.
+
+A sweep is described declaratively (dict or JSON file): a collective kind,
+the algorithms to compare, the x-axis (sizes/counts/blocks), and the
+machine.  ``run_sweep`` executes the grid and returns a
+:class:`SweepResult` that renders as a table or chart and serializes to
+JSON — the building block for custom studies beyond the paper's figures.
+
+Example config::
+
+    {
+      "name": "my-bcast-study",
+      "kind": "bcast",
+      "algorithms": ["torus-shaddr", "torus-direct-put"],
+      "sizes": ["64K", "512K", "2M"],
+      "machine": {"dims": [4, 4, 4], "mode": "quad"},
+      "iters": 1
+    }
+
+CLI: ``python -m repro sweep config.json [--out results.json]``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List
+
+from repro.bench.harness import (
+    run_allgather,
+    run_allreduce,
+    run_bcast,
+    run_gather,
+    run_reduce,
+    run_scatter,
+)
+from repro.bench.report import Series, format_table
+from repro.hardware.machine import Machine, Mode
+from repro.util.units import parse_size
+
+#: kind -> (runner, does x mean element count rather than bytes?)
+_KINDS = {
+    "bcast": (run_bcast, False),
+    "allreduce": (run_allreduce, True),
+    "reduce": (run_reduce, True),
+    "gather": (run_gather, False),
+    "scatter": (run_scatter, False),
+    "allgather": (run_allgather, False),
+}
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one sweep: per-algorithm series over the x-axis."""
+
+    name: str
+    kind: str
+    x_values: List[int]
+    #: algorithm -> bandwidth MB/s per x value
+    bandwidth: Dict[str, List[float]] = field(default_factory=dict)
+    #: algorithm -> elapsed µs per x value
+    elapsed_us: Dict[str, List[float]] = field(default_factory=dict)
+
+    def table(self, metric: str = "bandwidth") -> str:
+        data = self.bandwidth if metric == "bandwidth" else self.elapsed_us
+        series = [Series(name, values) for name, values in data.items()]
+        x_format = "count" if _KINDS[self.kind][1] else "bytes"
+        return format_table(
+            "x", self.x_values, series,
+            value_format="{:.1f}", x_format=x_format,
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepResult":
+        return cls(**json.loads(text))
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+
+
+def _validate_config(config: dict) -> None:
+    for key in ("kind", "algorithms", "sizes"):
+        if key not in config:
+            raise KeyError(f"sweep config missing {key!r}")
+    if config["kind"] not in _KINDS:
+        raise KeyError(
+            f"unknown sweep kind {config['kind']!r}; "
+            f"known: {sorted(_KINDS)}"
+        )
+    if not config["algorithms"] or not config["sizes"]:
+        raise ValueError("algorithms and sizes must be non-empty")
+
+
+def run_sweep(config: dict) -> SweepResult:
+    """Execute the sweep described by ``config``."""
+    _validate_config(config)
+    kind = config["kind"]
+    runner, x_is_count = _KINDS[kind]
+    machine_cfg = config.get("machine", {})
+    dims = tuple(machine_cfg.get("dims", (2, 2, 2)))
+    mode = Mode[machine_cfg.get("mode", "quad").upper()]
+    wrap = bool(machine_cfg.get("wrap", True))
+    iters = int(config.get("iters", 1))
+    x_values = [parse_size(s) for s in config["sizes"]]
+    result = SweepResult(
+        name=config.get("name", f"{kind}-sweep"),
+        kind=kind,
+        x_values=x_values,
+    )
+    for algorithm in config["algorithms"]:
+        bandwidths: List[float] = []
+        times: List[float] = []
+        for x in x_values:
+            machine = Machine(
+                torus_dims=dims, mode=mode, wrap=wrap
+            )
+            measured = runner(machine, algorithm, x, iters=iters)
+            bandwidths.append(measured.bandwidth_mbs)
+            times.append(measured.elapsed_us)
+        result.bandwidth[algorithm] = bandwidths
+        result.elapsed_us[algorithm] = times
+    return result
+
+
+def run_sweep_file(path: str) -> SweepResult:
+    """Execute a sweep from a JSON config file."""
+    with open(path) as handle:
+        return run_sweep(json.load(handle))

@@ -1,0 +1,459 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``list``
+    Show registered algorithms for each collective.
+``bcast`` / ``allreduce`` / ``allgather``
+    Measure one collective on a simulated machine, optionally verifying
+    payload delivery and printing a resource-utilization profile.
+``predict``
+    Print the analytic steady-state bounds for a broadcast algorithm.
+``figure``
+    Regenerate one of the paper's figures/tables (fig6..fig10, table1).
+``params``
+    Dump the calibrated model constants.
+
+Examples
+--------
+::
+
+    python -m repro bcast --size 2M --algorithm torus-shaddr --dims 4x4x4
+    python -m repro bcast --size 2M --profile --verify
+    python -m repro predict --algorithm torus-direct-put --size 2M
+    python -m repro figure fig10
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import List, Optional
+
+from repro.analysis import predict_torus_bcast, predict_tree_bcast
+from repro.bench import (
+    format_report,
+    run_allgather,
+    run_allreduce,
+    run_bcast,
+    utilization_report,
+)
+from repro.bench.harness import (
+    run_alltoall,
+    run_barrier,
+    run_gather,
+    run_reduce,
+    run_scatter,
+)
+from repro.collectives.registry import (
+    list_allgather_algorithms,
+    list_allreduce_algorithms,
+    list_alltoall_algorithms,
+    list_barrier_algorithms,
+    list_bcast_algorithms,
+    list_gather_algorithms,
+    list_reduce_algorithms,
+    list_scatter_algorithms,
+    select_bcast,
+)
+from repro.hardware import BGPParams, Machine, Mode
+from repro.util.units import parse_size
+
+_FIGURES = ("fig6", "fig7", "fig8", "fig9", "fig10", "table1")
+
+
+def _parse_dims(text: str):
+    parts = text.lower().split("x")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"dims must look like 4x4x4, got {text!r}"
+        )
+    try:
+        dims = tuple(int(p) for p in parts)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+    if any(d < 1 for d in dims):
+        raise argparse.ArgumentTypeError("dims must be positive")
+    return dims
+
+
+def _parse_mode(text: str) -> Mode:
+    try:
+        return Mode[text.upper()]
+    except KeyError as exc:
+        raise argparse.ArgumentTypeError(
+            f"mode must be smp/dual/quad, got {text!r}"
+        ) from exc
+
+
+def _add_machine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dims", type=_parse_dims, default=(2, 2, 2),
+        help="torus dimensions, e.g. 4x4x4 (default 2x2x2)",
+    )
+    parser.add_argument(
+        "--mode", type=_parse_mode, default=Mode.QUAD,
+        help="operating mode: smp, dual or quad (default quad)",
+    )
+    parser.add_argument(
+        "--mesh", action="store_true",
+        help="3D mesh instead of torus (no wraparound; 3 colors, not 6)",
+    )
+    parser.add_argument(
+        "--iters", type=int, default=1,
+        help="Fig-5 measurement iterations (default 1)",
+    )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="carry real payload bytes and check bit-exact delivery",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print a resource-utilization report after the run",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Optimizing MPI Collectives ... over the Blue "
+            "Gene/P Supercomputer' (IPDPS'11): simulate the paper's "
+            "collectives and regenerate its evaluation."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered algorithms")
+
+    p = sub.add_parser("bcast", help="measure an MPI_Bcast")
+    p.add_argument("--size", default="1M", help="message size, e.g. 128K")
+    p.add_argument(
+        "--algorithm", default="auto",
+        help="algorithm name or 'auto' (message-size policy)",
+    )
+    p.add_argument("--root", type=int, default=0)
+    _add_machine_args(p)
+
+    p = sub.add_parser("allreduce", help="measure an MPI_Allreduce (doubles)")
+    p.add_argument("--count", default="128K",
+                   help="element count, e.g. 512K")
+    p.add_argument("--algorithm", default="allreduce-torus-shaddr")
+    _add_machine_args(p)
+
+    p = sub.add_parser("allgather", help="measure an MPI_Allgather")
+    p.add_argument("--block", default="64K", help="per-rank block size")
+    p.add_argument("--algorithm", default="allgather-ring-shaddr")
+    _add_machine_args(p)
+
+    p = sub.add_parser("gather", help="measure an MPI_Gather (root 0)")
+    p.add_argument("--block", default="64K", help="per-rank block size")
+    p.add_argument("--algorithm", default="gather-ring-shaddr")
+    _add_machine_args(p)
+
+    p = sub.add_parser("scatter", help="measure an MPI_Scatter (root 0)")
+    p.add_argument("--block", default="64K", help="per-rank block size")
+    p.add_argument("--algorithm", default="scatter-ring-shaddr")
+    _add_machine_args(p)
+
+    p = sub.add_parser("reduce", help="measure an MPI_Reduce (doubles)")
+    p.add_argument("--count", default="128K", help="element count")
+    p.add_argument("--algorithm", default="reduce-torus-shaddr")
+    _add_machine_args(p)
+
+    p = sub.add_parser("alltoall", help="measure an MPI_Alltoall")
+    p.add_argument("--block", default="8K", help="per-pair block size")
+    p.add_argument("--algorithm", default="alltoall-shift-shaddr")
+    _add_machine_args(p)
+
+    p = sub.add_parser("barrier", help="measure an MPI_Barrier")
+    p.add_argument("--algorithm", default="barrier-gi")
+    _add_machine_args(p)
+
+    p = sub.add_parser(
+        "pingpong", help="measure point-to-point latency/bandwidth"
+    )
+    p.add_argument("--size", default="1K", help="message size")
+    p.add_argument(
+        "--protocol", default="auto",
+        choices=["auto", "eager", "rendezvous"],
+    )
+    p.add_argument("--rank-a", type=int, default=0)
+    p.add_argument("--rank-b", type=int, default=None)
+    _add_machine_args(p)
+
+    p = sub.add_parser(
+        "predict", help="analytic steady-state bounds for a broadcast"
+    )
+    p.add_argument("--algorithm", required=True)
+    p.add_argument("--size", default="2M")
+    p.add_argument("--dims", type=_parse_dims, default=(4, 4, 4))
+    p.add_argument("--ppn", type=int, default=4)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure/table")
+    p.add_argument("name", choices=_FIGURES)
+    p.add_argument(
+        "--plot", action="store_true",
+        help="also render the series as an ASCII chart",
+    )
+
+    p = sub.add_parser(
+        "sweep", help="run a JSON-configured parameter sweep"
+    )
+    p.add_argument("config", help="path to the sweep JSON config")
+    p.add_argument("--out", default=None, help="write results JSON here")
+    p.add_argument(
+        "--metric", default="bandwidth", choices=["bandwidth", "elapsed"]
+    )
+
+    sub.add_parser("params", help="dump the calibrated model constants")
+    return parser
+
+
+def _machine(args) -> Machine:
+    return Machine(
+        torus_dims=args.dims, mode=args.mode,
+        wrap=not getattr(args, "mesh", False),
+    )
+
+
+def _finish(args, machine: Machine, result) -> None:
+    print(result)
+    if args.verify:
+        print("payload verified bit-exact at every rank")
+    if args.profile:
+        print(format_report(utilization_report(machine)))
+
+
+def _cmd_list(_args) -> int:
+    print("bcast:")
+    for name in list_bcast_algorithms():
+        print(f"  {name}")
+    print("allreduce:")
+    for name in list_allreduce_algorithms():
+        print(f"  {name}")
+    print("allgather:")
+    for name in list_allgather_algorithms():
+        print(f"  {name}")
+    print("gather:")
+    for name in list_gather_algorithms():
+        print(f"  {name}")
+    print("scatter:")
+    for name in list_scatter_algorithms():
+        print(f"  {name}")
+    print("reduce:")
+    for name in list_reduce_algorithms():
+        print(f"  {name}")
+    print("alltoall:")
+    for name in list_alltoall_algorithms():
+        print(f"  {name}")
+    print("barrier:")
+    for name in list_barrier_algorithms():
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_bcast(args) -> int:
+    nbytes = parse_size(args.size)
+    name = args.algorithm
+    if name == "auto":
+        name = select_bcast(nbytes, args.mode.processes_per_node)
+    machine = _machine(args)
+    result = run_bcast(
+        machine, name, nbytes, root=args.root, iters=args.iters,
+        verify=args.verify,
+    )
+    _finish(args, machine, result)
+    return 0
+
+
+def _cmd_allreduce(args) -> int:
+    count = parse_size(args.count)  # counts use the same K/M suffixes
+    machine = _machine(args)
+    result = run_allreduce(
+        machine, args.algorithm, count, iters=args.iters, verify=args.verify
+    )
+    _finish(args, machine, result)
+    return 0
+
+
+def _cmd_allgather(args) -> int:
+    block = parse_size(args.block)
+    machine = _machine(args)
+    result = run_allgather(
+        machine, args.algorithm, block, iters=args.iters, verify=args.verify
+    )
+    _finish(args, machine, result)
+    return 0
+
+
+def _cmd_gather(args) -> int:
+    block = parse_size(args.block)
+    machine = _machine(args)
+    result = run_gather(
+        machine, args.algorithm, block, iters=args.iters, verify=args.verify
+    )
+    _finish(args, machine, result)
+    return 0
+
+
+def _cmd_scatter(args) -> int:
+    block = parse_size(args.block)
+    machine = _machine(args)
+    result = run_scatter(
+        machine, args.algorithm, block, iters=args.iters, verify=args.verify
+    )
+    _finish(args, machine, result)
+    return 0
+
+
+def _cmd_reduce(args) -> int:
+    count = parse_size(args.count)
+    machine = _machine(args)
+    result = run_reduce(
+        machine, args.algorithm, count, iters=args.iters, verify=args.verify
+    )
+    _finish(args, machine, result)
+    return 0
+
+
+def _cmd_alltoall(args) -> int:
+    block = parse_size(args.block)
+    machine = _machine(args)
+    result = run_alltoall(
+        machine, args.algorithm, block, iters=args.iters, verify=args.verify
+    )
+    _finish(args, machine, result)
+    return 0
+
+
+def _cmd_barrier(args) -> int:
+    machine = _machine(args)
+    result = run_barrier(machine, args.algorithm, iters=args.iters)
+    print(f"{result.algorithm}: {result.elapsed_us:.2f} us on "
+          f"{result.nprocs} procs")
+    if args.profile:
+        print(format_report(utilization_report(machine)))
+    return 0
+
+
+def _cmd_pingpong(args) -> int:
+    from repro.mpi.p2p import run_pingpong
+
+    machine = _machine(args)
+    result = run_pingpong(
+        machine,
+        parse_size(args.size),
+        rank_a=args.rank_a,
+        rank_b=args.rank_b,
+        protocol=args.protocol,
+        iters=max(1, args.iters),
+    )
+    print(result)
+    if args.profile:
+        print(format_report(utilization_report(machine)))
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    params = BGPParams()
+    nbytes = parse_size(args.size)
+    if args.algorithm.startswith("torus"):
+        prediction = predict_torus_bcast(
+            params, args.algorithm, args.dims, nbytes, ppn=args.ppn
+        )
+    elif args.algorithm.startswith("tree"):
+        prediction = predict_tree_bcast(
+            params, args.algorithm, nbytes, ppn=args.ppn
+        )
+    else:
+        print(f"no analytic model for {args.algorithm!r}", file=sys.stderr)
+        return 2
+    print(f"steady-state bounds for {args.algorithm} at {args.size}:")
+    print(prediction)
+    print(f"prediction: {prediction.value:.1f} MB/s "
+          f"({prediction.bottleneck.name})")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro.bench import experiments
+
+    runner = {
+        "fig6": experiments.fig6_tree_latency,
+        "fig7": experiments.fig7_tree_bandwidth,
+        "fig8": experiments.fig8_syscall_caching,
+        "fig9": experiments.fig9_scaling,
+        "fig10": experiments.fig10_torus_bandwidth,
+        "table1": experiments.table1_allreduce,
+    }[args.name]
+    result = runner()
+    print(result.table())
+    for key, value in result.metrics.items():
+        print(f"{key}: {value:.3f}")
+    if args.plot:
+        from repro.bench.plot import render_chart
+
+        y_label = "latency (us)" if args.name == "fig6" else "MB/s"
+        print()
+        print(
+            render_chart(
+                result.x_values,
+                result.series,
+                y_label=y_label,
+                x_format=result.x_format,
+            )
+        )
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.bench.sweep import run_sweep_file
+
+    result = run_sweep_file(args.config)
+    metric = "bandwidth" if args.metric == "bandwidth" else "elapsed_us"
+    print(f"== {result.name} ({result.kind}) ==")
+    print(result.table(metric))
+    if args.out:
+        result.save(args.out)
+        print(f"results written to {args.out}")
+    return 0
+
+
+def _cmd_params(_args) -> int:
+    params = BGPParams()
+    for field in dataclasses.fields(params):
+        print(f"{field.name:28s} {getattr(params, field.name)}")
+    return 0
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "bcast": _cmd_bcast,
+    "allreduce": _cmd_allreduce,
+    "allgather": _cmd_allgather,
+    "gather": _cmd_gather,
+    "scatter": _cmd_scatter,
+    "reduce": _cmd_reduce,
+    "alltoall": _cmd_alltoall,
+    "barrier": _cmd_barrier,
+    "pingpong": _cmd_pingpong,
+    "predict": _cmd_predict,
+    "figure": _cmd_figure,
+    "sweep": _cmd_sweep,
+    "params": _cmd_params,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Allgather algorithms — the paper's future-work extension (section VII).
+
+"In our future work, we intend to extend the mechanism to other collectives
+such as MPI Gather and MPI Allgather which can also potentially move large
+volumes of data."
+
+Two quad-mode algorithms over a node-level ring (following the shared-
+memory-vs-direct-access contrast of reference [7], Mamidala et al.,
+"Efficient Shared Memory and RDMA based design for MPI Allgather"):
+
+``allgather-ring-current``
+    DMA-driven baseline: the node block is staged by DMA-gathering the
+    local peers' blocks into the master, the ring circulates node blocks,
+    and every arriving block is DMA-direct-put to the three peers.
+
+``allgather-ring-shaddr``
+    Shared-address scheme: the network sends straight out of the mapped
+    peer buffers (no local gather), arrivals are published through software
+    message counters, and peers copy arrived blocks directly out of the
+    master's receive buffer with their own cores.
+"""
+
+from repro.collectives.allgather.base import AllgatherInvocation
+from repro.collectives.allgather.ring import (
+    RingCurrentAllgather,
+    RingShaddrAllgather,
+)
+
+__all__ = [
+    "AllgatherInvocation",
+    "RingCurrentAllgather",
+    "RingShaddrAllgather",
+]

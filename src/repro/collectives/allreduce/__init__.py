@@ -1,0 +1,13 @@
+"""Allreduce algorithms (section V-C)."""
+
+from repro.collectives.allreduce.base import AllreduceInvocation
+from repro.collectives.allreduce.torus_current import TorusCurrentAllreduce
+from repro.collectives.allreduce.torus_shaddr import TorusShaddrAllreduce
+from repro.collectives.allreduce.tree_allreduce import TreeAllreduce
+
+__all__ = [
+    "AllreduceInvocation",
+    "TorusCurrentAllreduce",
+    "TorusShaddrAllreduce",
+    "TreeAllreduce",
+]

@@ -1,0 +1,178 @@
+"""Allreduce over the torus, proposed approach (section V-C-2).
+
+"The allreduce operation can be decomposed into the following tasks:
+a) network allreduce b) local reduce and c) local broadcast. ... The
+central idea of the new approach is to delegate one core to do the network
+allreduce operation and the remaining three cores to do the local reduce
+and broadcast operation.  Since there are three independent allreduce
+operations or three colors occurring at the same time, each of the three
+cores is delegated to handle one color each.  The data buffers are
+uniformly split three way and each of the cores works on its partition.
+... All the application buffers are mapped using the system call
+interfaces, and no extra copy operations are necessary.  The cores then
+inform the master core doing the network allreduce protocol via shared
+software message counters. ... Once the network data arrives in the
+application receive buffer of the master core, it notifies the three
+cores.  The other three cores start copying the data into their own
+respective buffers after they are done with reducing all the buffer
+partitions assigned to them."
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.collectives.allreduce.base import DOUBLE, AllreduceInvocation
+from repro.collectives.allreduce.ring import RingReduce
+from repro.collectives.bcast.torus_common import TorusBcastNetwork
+from repro.msg.color import partition_bytes, torus_colors
+from repro.msg.pipeline import ChunkPlan
+from repro.msg.routes import ring_order
+from repro.sim.resources import Store
+from repro.sim.sync import SimCounter
+
+
+class TorusShaddrAllreduce(AllreduceInvocation):
+    """Core-specialized shared-address allreduce (the 'New' column)."""
+
+    name = "allreduce-torus-shaddr"
+    network = "torus"
+    ncolors = 3
+
+    def setup(self) -> None:
+        machine = self.machine
+        if machine.ppn != 4:
+            raise ValueError(
+                f"{self.name} is a quad-mode algorithm (ppn=4), machine has "
+                f"ppn={machine.ppn}"
+            )
+        engine = machine.engine
+        params = machine.params
+        chunk = params.pipeline_width
+        self.net = TorusBcastNetwork(
+            self, self.ncolors, chunk, external_root_feed=True, align=DOUBLE
+        )
+        self.colors = torus_colors(self.ncolors)
+        self.parts = partition_bytes(self.nbytes, self.ncolors, align=DOUBLE)
+        self.offsets = [sum(self.parts[:i]) for i in range(self.ncolors)]
+        root_node = machine.rank_to_node(self.root)
+        # The dedicated network-protocol core (local rank 0) per node.
+        self.proto_cores = [
+            machine.flownet.add_resource(
+                f"n{n}.proto.sha{id(self)}",
+                machine.nodes[n].regime.core_reduce_cap,
+            )
+            for n in range(machine.nnodes)
+        ]
+        self.contrib_ready: List[List[SimCounter]] = [
+            [
+                SimCounter(engine, name=f"c{c}.n{n}.contrib")
+                for n in range(machine.nnodes)
+            ]
+            for c in range(self.ncolors)
+        ]
+        # Result-arrival publication (master core -> worker cores).
+        self.mailbox: List[Store] = [
+            Store(engine, name=f"n{n}.mbox") for n in range(machine.nnodes)
+        ]
+        self.published: List[SimCounter] = [
+            SimCounter(engine, name=f"n{n}.pub") for n in range(machine.nnodes)
+        ]
+        self.records: List[List[Tuple[int, int]]] = [
+            [] for _ in range(machine.nnodes)
+        ]
+        self.completion: List[SimCounter] = [
+            SimCounter(engine, name=f"n{n}.done") for n in range(machine.nnodes)
+        ]
+        self.net.on_chunk(
+            lambda node, _c, goff, size: self.mailbox[node].put((goff, size))
+        )
+        self.rings: List[RingReduce] = []
+        for c, color in enumerate(self.colors):
+            if self.parts[c] == 0:
+                continue
+            self.rings.append(
+                RingReduce(
+                    self,
+                    color,
+                    ring_order(machine.torus, color, root_node),
+                    self.offsets[c],
+                    self.parts[c],
+                    chunk,
+                    self.contrib_ready[c],
+                    self.proto_cores,
+                    self.net.start,
+                    lambda goff, size, c=c: self._root_ready(c, goff, size),
+                )
+            )
+
+    def _root_ready(self, c: int, goff: int, size: int) -> None:
+        master = self.machine.node_ranks(
+            self.machine.rank_to_node(self.root)
+        )[0]
+        data = self.payload_slice(goff, size)
+        if data is not None:
+            self.write_result(master, goff, data)
+        self.net.feed_root(self.colors[c].id, size)
+
+    # -- per-rank coroutine --------------------------------------------------
+    def proc(self, rank: int):
+        ctx = self.context(rank)
+        machine = self.machine
+        params = machine.params
+        engine = machine.engine
+        if self.count == 0:
+            return
+        yield engine.timeout(params.mpi_overhead)
+        node = ctx.node_index
+        local = ctx.local_rank
+        if rank == self.root:
+            self.net.open()
+        if local == 0:
+            # Master core: runs the network protocol (the ring additions are
+            # charged to this node's protocol-core resource by RingReduce)
+            # and publishes result arrivals to the worker cores.
+            total = self.net.total_chunks_per_node
+            for _ in range(total):
+                goff, size = yield self.mailbox[node].get()
+                yield engine.timeout(
+                    params.dma_counter_poll + params.flag_cost
+                )
+                self.records[node].append((goff, size))
+                self.published[node].add(1)
+            yield self.completion[node].wait_for(machine.ppn - 1)
+        else:
+            # Worker core: owns color (local-1); locally reduces its
+            # partition in pipeline chunks (accessing every local buffer
+            # through mapped windows), then copies the full result out of
+            # the master's buffer.
+            c = local - 1
+            plan = ChunkPlan.build(self.parts[c], params.pipeline_width)
+            for _k, off, size in plan.slices():
+                # Map each peer buffer at every access (cached -> free).
+                for peer_local in range(machine.ppn):
+                    if peer_local != local:
+                        peer_rank = machine.node_ranks(node)[peer_local]
+                        yield from ctx.windows.map_buffer(
+                            peer_local, ("allreduce-buf", peer_rank),
+                            self.nbytes,
+                        )
+                # Sum the four local application buffers, no staging copies.
+                yield from ctx.node.core_reduce(
+                    size, machine.ppn, name=f"lred.c{c}"
+                )
+                yield engine.timeout(params.flag_cost)
+                self.contrib_ready[c][node].add(size)
+            # Local broadcast: chase the master's software counters.
+            total = self.net.total_chunks_per_node
+            for i in range(total):
+                if self.published[node].value < i + 1:
+                    yield self.published[node].wait_for(i + 1)
+                    yield engine.timeout(params.flag_cost)
+                goff, size = self.records[node][i]
+                yield from ctx.node.core_copy(size, name=f"lbcast.l{local}")
+                data = self.payload_slice(goff, size)
+                if data is not None:
+                    self.write_result(rank, goff, data)
+            yield engine.timeout(params.atomic_op_cost)
+            self.completion[node].add(1)

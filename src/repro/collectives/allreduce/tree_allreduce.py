@@ -1,0 +1,86 @@
+"""Allreduce over the collective network (context algorithm).
+
+The collective network's integer ALU makes short allreduces extremely fast
+(section III-A); the paper's evaluation focuses on the large-message torus
+algorithms, but the MPI layer still needs the short-message protocol to be
+present for realistic auto-selection.  The structure mirrors the quad-mode
+tree broadcast baselines: the master core locally reduces the node's
+contributions (after DMA gathers them), injects the node sum, drains the
+combined result, and the DMA direct-puts it to the peers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.collectives.allreduce.base import AllreduceInvocation
+from repro.hardware.tree import TreeOperation
+from repro.sim.events import AllOf, Event
+
+
+class TreeAllreduce(AllreduceInvocation):
+    """Short-message allreduce through the combining tree."""
+
+    name = "allreduce-tree"
+    network = "tree"
+
+    def setup(self) -> None:
+        machine = self.machine
+        params = machine.params
+        self.op: TreeOperation = machine.tree.operation(
+            self.nbytes, params.pipeline_width
+        )
+        engine = machine.engine
+        self.chunk_landed: Dict[int, List[Event]] = {
+            rank: [Event(engine) for _ in range(self.op.nchunks)]
+            for rank in range(machine.nprocs)
+        }
+
+    def proc(self, rank: int):
+        ctx = self.context(rank)
+        machine = self.machine
+        params = machine.params
+        engine = machine.engine
+        if self.count == 0:
+            return
+        yield engine.timeout(params.mpi_overhead)
+        node = ctx.node_index
+        master = machine.node_ranks(node)[0]
+        peers = [r for r in machine.node_ranks(node) if r != master]
+        if rank == master:
+            yield engine.timeout(params.tree_inject_startup)
+            offset = 0
+            for k in range(self.op.nchunks):
+                size = self.op.chunks[k]
+                if peers:
+                    # DMA gathers the peers' chunks, master core reduces.
+                    flows = [
+                        ctx.dma.local_copy_flow(size, name="tgather")
+                        for _ in peers
+                    ]
+                    yield AllOf(engine, [f.event for f in flows])
+                    yield from ctx.node.core_reduce(size, machine.ppn,
+                                                    name="tlred")
+                yield from self.op.inject(node, k)
+                yield from self.op.receive(node, k)
+                data = self.payload_slice(offset, size)
+                if data is not None:
+                    self.write_result(rank, offset, data)
+                yield from ctx.dma.post()
+                for peer in peers:
+                    flow = ctx.dma.local_copy_flow(size, name=f"tput.r{peer}")
+                    flow.event.on_trigger(
+                        lambda _v, peer=peer, k=k:
+                        self.chunk_landed[peer][k].trigger(None)
+                    )
+                offset += size
+        else:
+            offset = 0
+            for k in range(self.op.nchunks):
+                size = self.op.chunks[k]
+                yield self.chunk_landed[rank][k]
+                yield engine.timeout(params.dma_counter_poll)
+                data = self.payload_slice(offset, size)
+                if data is not None:
+                    self.write_result(rank, offset, data)
+                offset += size

@@ -1,0 +1,32 @@
+"""Alltoall algorithms (extension).
+
+``MPI_Alltoall`` gives every rank a distinct block from every other rank —
+the communication backbone of distributed FFTs and transposes, and the
+heaviest-traffic collective (N² blocks).  The network protocol is the
+classic *shift* algorithm at node level: in round ``s`` every node sends
+the block-set destined for node ``(i + s) mod N`` and receives from
+``(i - s) mod N``, so all rounds keep every link busy without hot spots.
+
+The intra-node contrast follows the paper:
+
+``alltoall-shift-current``
+    The DMA stages outgoing node block-sets from the four local ranks and
+    direct-puts each arriving set's sub-blocks to the peers.
+
+``alltoall-shift-shaddr``
+    Outgoing sets are read in place from mapped peer buffers; arriving
+    sets are published through software counters and the peer cores copy
+    their own sub-blocks directly out of the master's receive buffer.
+"""
+
+from repro.collectives.alltoall.base import AlltoallInvocation
+from repro.collectives.alltoall.shift import (
+    ShiftCurrentAlltoall,
+    ShiftShaddrAlltoall,
+)
+
+__all__ = [
+    "AlltoallInvocation",
+    "ShiftCurrentAlltoall",
+    "ShiftShaddrAlltoall",
+]

@@ -1,0 +1,164 @@
+"""Barrier algorithms.
+
+BG/P has a dedicated *global interrupt network* that completes a barrier in
+a few microseconds (the reason the paper's Fig-5 loop can afford a barrier
+per iteration).  For context — and because software barriers matter on
+partitions where the GI network is unavailable — three algorithms:
+
+``barrier-gi``
+    The global interrupt network: a fixed-latency hardware AND-tree.
+
+``barrier-tree``
+    A 1-packet allreduce on the collective network: local ranks flag the
+    master, masters inject/drain one packet, masters flag the peers.
+
+``barrier-torus``
+    Dissemination over the torus: ``ceil(log2 N)`` rounds; in round ``k``
+    node ``i`` signals node ``(i + 2^k) mod N`` with a single packet, plus
+    the same intra-node flag fan-in/fan-out.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.collectives.base import InvocationBase
+from repro.hardware.machine import Machine
+from repro.sim.events import Event
+from repro.sim.sync import SimBarrier, SimCounter
+
+
+class BarrierInvocation(InvocationBase):
+    """Base class: a barrier moves no payload, only synchronisation."""
+
+    def __init__(self, machine: Machine, window_caching: bool = True):
+        super().__init__(machine, 0, 0, window_caching)
+        self.setup()
+
+    def verify(self) -> None:
+        """A barrier's correctness is its synchronisation property, which
+        the tests check from the recorded release times."""
+
+
+class GiBarrier(BarrierInvocation):
+    """The global-interrupt-network hardware barrier."""
+
+    name = "barrier-gi"
+    network = "gi"
+
+    def setup(self) -> None:
+        self._barrier = SimBarrier(
+            self.machine.engine,
+            self.machine.nprocs,
+            latency=self.machine.params.barrier_latency,
+        )
+
+    def proc(self, rank: int):
+        yield self.machine.engine.timeout(
+            self.machine.params.mpi_overhead
+        )
+        yield self._barrier.wait()
+
+
+class TreeBarrier(BarrierInvocation):
+    """A one-packet combining-tree barrier."""
+
+    name = "barrier-tree"
+    network = "tree"
+
+    def setup(self) -> None:
+        machine = self.machine
+        params = machine.params
+        self.op = machine.tree.operation(
+            params.tree_packet_bytes, params.tree_packet_bytes
+        )
+        engine = machine.engine
+        #: local fan-in: peers arrived at the barrier
+        self.arrived: List[SimCounter] = [
+            SimCounter(engine, name=f"n{n}.bar.in")
+            for n in range(machine.nnodes)
+        ]
+        #: local fan-out: master observed the global release
+        self.released: List[Event] = [
+            Event(engine) for _ in range(machine.nnodes)
+        ]
+
+    def proc(self, rank: int):
+        ctx = self.context(rank)
+        machine = self.machine
+        params = machine.params
+        engine = machine.engine
+        yield engine.timeout(params.mpi_overhead)
+        node = ctx.node_index
+        master = machine.node_ranks(node)[0]
+        npeers = machine.ppn - 1
+        if rank == master:
+            if npeers:
+                yield self.arrived[node].wait_for(npeers)
+            yield engine.timeout(params.tree_inject_startup)
+            yield from self.op.inject(node, 0)
+            yield from self.op.receive(node, 0)
+            yield engine.timeout(params.flag_cost)
+            self.released[node].trigger(None)
+        else:
+            yield engine.timeout(params.flag_cost)
+            self.arrived[node].add(1)
+            yield self.released[node]
+            yield engine.timeout(params.flag_cost)
+
+
+class TorusDisseminationBarrier(BarrierInvocation):
+    """Dissemination barrier over the torus (log2 N rounds of packets)."""
+
+    name = "barrier-torus"
+    network = "torus"
+
+    def setup(self) -> None:
+        machine = self.machine
+        engine = machine.engine
+        n = machine.nnodes
+        self.rounds = max(0, math.ceil(math.log2(n))) if n > 1 else 0
+        #: per (node, round): the round-k notification has arrived
+        self.notified: Dict[tuple, Event] = {
+            (node, k): Event(engine)
+            for node in range(n)
+            for k in range(self.rounds)
+        }
+        self.arrived: List[SimCounter] = [
+            SimCounter(engine, name=f"n{i}.bar.in") for i in range(n)
+        ]
+        self.released: List[Event] = [Event(engine) for _ in range(n)]
+
+    def proc(self, rank: int):
+        ctx = self.context(rank)
+        machine = self.machine
+        params = machine.params
+        engine = machine.engine
+        node = ctx.node_index
+        master = machine.node_ranks(node)[0]
+        npeers = machine.ppn - 1
+        yield engine.timeout(params.mpi_overhead)
+        if rank != master:
+            yield engine.timeout(params.flag_cost)
+            self.arrived[node].add(1)
+            yield self.released[node]
+            yield engine.timeout(params.flag_cost)
+            return
+        if npeers:
+            yield self.arrived[node].wait_for(npeers)
+        n = machine.nnodes
+        for k in range(self.rounds):
+            partner = (node + (1 << k)) % n
+            yield from ctx.dma.post()
+            delivered = machine.torus.ptp_send(
+                0, node, partner, params.torus_packet_bytes,
+                name=f"bar.n{node}.k{k}",
+            )
+            delivered.on_trigger(
+                lambda _v, partner=partner, k=k:
+                self.notified[(partner, k)].trigger(None)
+            )
+            yield self.notified[(node, k)]
+        yield engine.timeout(params.flag_cost)
+        self.released[node].trigger(None)

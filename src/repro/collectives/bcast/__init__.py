@@ -1,0 +1,27 @@
+"""Broadcast algorithms (torus and collective-network families)."""
+
+from repro.collectives.bcast.torus_direct_put import (
+    TorusDirectPutBcast,
+    TorusDirectPutSmpBcast,
+)
+from repro.collectives.bcast.torus_fifo import TorusFifoBcast
+from repro.collectives.bcast.torus_shaddr import TorusShaddrBcast
+from repro.collectives.bcast.tree_smp import TreeSmpBcast
+from repro.collectives.bcast.tree_dma import (
+    TreeDmaDirectPutBcast,
+    TreeDmaFifoBcast,
+)
+from repro.collectives.bcast.tree_shmem import TreeShmemBcast
+from repro.collectives.bcast.tree_shaddr import TreeShaddrBcast
+
+__all__ = [
+    "TorusDirectPutBcast",
+    "TorusDirectPutSmpBcast",
+    "TorusFifoBcast",
+    "TorusShaddrBcast",
+    "TreeSmpBcast",
+    "TreeDmaFifoBcast",
+    "TreeDmaDirectPutBcast",
+    "TreeShmemBcast",
+    "TreeShaddrBcast",
+]

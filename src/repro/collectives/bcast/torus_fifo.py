@@ -1,0 +1,140 @@
+"""Torus broadcast, proposed: ``Torus + FIFO`` (sections IV-B, V-A-2).
+
+"Shared Memory Broadcast using Bcast FIFO: ... once a chunk of data is
+received from the Torus network into the application buffer, the master
+process enqueues the data element into the Bcast FIFO ... The data is
+packetized if it is more than the FIFO slot size.  Apart from the actual
+data, metadata information associated with the data is also copied into the
+same FIFO slot.  The metadata includes the number of data bytes copied into
+the slot and the connection id of the global broadcast flow.  In this
+fashion broadcast streams from multiple connections can be multiplexed into
+the same FIFO."
+
+Intra-node movement is done by the *cores* (staging copies through the
+FIFO), freeing the DMA for the network — "concurrent data transfers
+intra-node by the processing cores and the DMA moving the data from the
+node to the Torus network" — at the price of funnelling every byte through
+the master core's staging copy, which runs at the cache-coherence-limited
+FIFO copy rate.
+
+Simulation granularity: the FIFO operates at slot granularity (default
+8 KB); for efficiency the simulation issues one staging-copy flow per
+network pipeline chunk and charges the per-slot bookkeeping (fetch-and-
+increment on Tail, consumer-counter initialisation, completion flag) as an
+aggregate cost for the slots the chunk packetizes into.  The
+slot-granularity behaviour itself is exercised directly by the unit tests
+of :class:`repro.kernel.shmem.SimBcastFifo` and of the thread-executable
+:class:`repro.structures.bcast_fifo.BcastFifo`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.collectives.base import BcastInvocation
+from repro.collectives.bcast.torus_common import TorusBcastNetwork
+from repro.msg.pipeline import split_chunks
+from repro.sim.resources import Store
+from repro.sim.sync import SimCounter
+
+
+class TorusFifoBcast(BcastInvocation):
+    """Quad-mode broadcast with the concurrent Bcast FIFO intra-node."""
+
+    name = "torus-fifo"
+    network = "torus"
+    ncolors = 6
+
+    def setup(self) -> None:
+        machine = self.machine
+        params = machine.params
+        engine = machine.engine
+        self.net = TorusBcastNetwork(self, self.ncolors, params.pipeline_width)
+        # Arrival mailboxes feeding each node's master enqueue loop.
+        self.arrivals: List[Store] = [
+            Store(engine, name=f"n{n}.arrivals")
+            for n in range(machine.nnodes)
+        ]
+        # The FIFO modelled at chunk granularity: elements visible / retired
+        # (visible to consumers after the staging copy completes).
+        self.visible: List[SimCounter] = [
+            SimCounter(engine, name=f"n{n}.fifo.tail")
+            for n in range(machine.nnodes)
+        ]
+        self.retired: List[SimCounter] = [
+            SimCounter(engine, name=f"n{n}.fifo.head")
+            for n in range(machine.nnodes)
+        ]
+        self.elements: List[list] = [[] for _ in range(machine.nnodes)]
+        self.readers_left: List[List[int]] = [[] for _ in range(machine.nnodes)]
+        #: FIFO capacity in elements (chunk granularity): total staging bytes
+        #: divided by the chunk size, at least 1.
+        capacity_bytes = params.fifo_slots * params.fifo_slot_bytes
+        self.capacity = max(1, capacity_bytes // params.pipeline_width)
+        self.net.on_chunk(self._on_arrival)
+
+    def _on_arrival(self, node: int, color_id: int, goff: int, size: int) -> None:
+        self.arrivals[node].put((color_id, goff, size))
+
+    def _slot_costs(self, size: int) -> float:
+        """Aggregate per-slot bookkeeping for one packetized chunk."""
+        params = self.machine.params
+        pieces = len(split_chunks(size, params.fifo_slot_bytes))
+        per_slot = (
+            params.atomic_op_cost  # fetch-and-increment on Tail
+            + params.atomic_op_cost  # consumer-counter initialisation
+            + params.flag_cost  # write-completion step
+            + params.shmem_chunk_overhead
+        )
+        return pieces * per_slot
+
+    def proc(self, rank: int):
+        ctx = self.context(rank)
+        machine = self.machine
+        params = machine.params
+        engine = machine.engine
+        if self.nbytes == 0:
+            return
+        yield engine.timeout(params.mpi_overhead)
+        node = ctx.node_index
+        root_node = machine.rank_to_node(self.root)
+        is_master = rank == self.root or (
+            ctx.local_rank == 0 and node != root_node
+        )
+        if rank == self.root:
+            self.net.open()
+        if machine.ppn == 1:
+            yield self.net.node_received[node].wait_for(self.nbytes)
+            return
+        nconsumers = machine.ppn - 1
+        total_chunks = self.net.total_chunks_per_node
+        if is_master:
+            # Master loop: observe the DMA counter, packetize each arrived
+            # chunk into FIFO slots (staging copy at the FIFO copy rate).
+            for seq in range(total_chunks):
+                color_id, goff, size = yield self.arrivals[node].get()
+                yield engine.timeout(params.dma_counter_poll)
+                # Space check: wait until the FIFO has room.
+                if seq - self.retired[node].value >= self.capacity:
+                    yield self.retired[node].wait_for(seq - self.capacity + 1)
+                yield engine.timeout(self._slot_costs(size))
+                yield from ctx.node.fifo_copy(size, name="bfifo.in")
+                self.elements[node].append((color_id, goff, size))
+                self.readers_left[node].append(nconsumers)
+                self.visible[node].add(1)
+        else:
+            # Consumer loop: read every multiplexed element in order.
+            for seq in range(total_chunks):
+                if self.visible[node].value < seq + 1:
+                    yield self.visible[node].wait_for(seq + 1)
+                _color_id, goff, size = self.elements[node][seq]
+                yield engine.timeout(params.atomic_op_cost)
+                yield from ctx.node.fifo_copy(size, name="bfifo.out")
+                data = self.payload_slice(goff, size)
+                if data is not None:
+                    self.write_result(rank, goff, data)
+                # Decrement the slot counter; last reader retires.
+                self.readers_left[node][seq] -= 1
+                if self.readers_left[node][seq] == 0:
+                    yield engine.timeout(params.atomic_op_cost)
+                    self.retired[node].add(1)

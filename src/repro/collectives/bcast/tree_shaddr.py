@@ -1,0 +1,127 @@
+"""Collective-network broadcast, proposed bandwidth scheme (section V-B-2,
+Fig 4): shared address space + core specialization.
+
+"An injection process injects data into the collective network and a
+separate reception process copies the network output into the application
+buffer. ... We designate all the processes with local rank zero from all
+the nodes as the injection processes.  All the processes with local rank
+one would be the reception processes.  However, unlike the Shared Memory
+approach, the data buffers involved in the operation are directly the
+application buffers. ... Once a chunk of data is copied into its
+application buffer, it [rank 1] notifies the other two processes ... using
+a software shared counter ... These two processes copy the data directly
+from the application buffer of [the] process with local rank one.  Further,
+the process with local rank two makes an additional copy into the
+application buffer of the injection process ... The extra copy is not a
+problem as the memory bandwidth is at least twice that of the collective
+network."
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.collectives.base import BcastInvocation
+from repro.hardware.tree import TreeOperation
+from repro.sim.sync import SimCounter
+
+
+class TreeShaddrBcast(BcastInvocation):
+    """Quad-mode core-specialized broadcast over mapped application buffers."""
+
+    name = "tree-shaddr"
+    network = "tree"
+
+    def setup(self) -> None:
+        machine = self.machine
+        if machine.ppn != 4:
+            raise ValueError(
+                f"{self.name} is a quad-mode algorithm (ppn=4), machine has "
+                f"ppn={machine.ppn}"
+            )
+        if machine.rank_to_local(self.root) != 0:
+            raise ValueError(
+                f"{self.name} expects the global root at local rank 0 "
+                f"(the injection process), got local rank "
+                f"{machine.rank_to_local(self.root)}"
+            )
+        params = machine.params
+        self.op: TreeOperation = machine.tree.operation(
+            self.nbytes, params.pipeline_width
+        )
+        engine = machine.engine
+        #: rank-1's software counter: chunks landed in its application buffer
+        self.sw_counter: List[SimCounter] = [
+            SimCounter(engine, name=f"n{n}.swcnt")
+            for n in range(machine.nnodes)
+        ]
+        #: chunks copied into the injection process's buffer by local rank 2
+        self.injector_filled: List[SimCounter] = [
+            SimCounter(engine, name=f"n{n}.injfill")
+            for n in range(machine.nnodes)
+        ]
+
+    def proc(self, rank: int):
+        ctx = self.context(rank)
+        machine = self.machine
+        params = machine.params
+        engine = machine.engine
+        if self.nbytes == 0:
+            return
+        yield engine.timeout(params.mpi_overhead)
+        node = ctx.node_index
+        local = ctx.local_rank
+        nchunks = self.op.nchunks
+        if local == 0:
+            # Injection process: drives the tree from its application buffer
+            # (the global root injects payload; everyone else zeros).
+            yield engine.timeout(params.tree_inject_startup)
+            for k in range(nchunks):
+                yield from self.op.inject(node, k)
+            if rank != self.root:
+                # Its own copy arrives via rank 2's extra copy.
+                yield self.injector_filled[node].wait_for(nchunks)
+        elif local == 1:
+            # Reception process: drains straight into its application
+            # buffer and publishes the software counter.
+            offset = 0
+            for k in range(nchunks):
+                size = self.op.chunks[k]
+                yield from self.op.receive(node, k)
+                data = self.payload_slice(offset, size)
+                if data is not None:
+                    self.write_result(rank, offset, data)
+                yield engine.timeout(params.flag_cost)
+                self.sw_counter[node].add(1)
+                offset += size
+        else:
+            # Copy processes: rank 2 copies to itself and to rank 0;
+            # rank 3 copies to itself only.
+            reception_rank = machine.node_ranks(node)[1]
+            injection_rank = machine.node_ranks(node)[0]
+            offset = 0
+            for k in range(nchunks):
+                size = self.op.chunks[k]
+                if self.sw_counter[node].value < k + 1:
+                    yield self.sw_counter[node].wait_for(k + 1)
+                    yield engine.timeout(params.flag_cost)
+                # Map the reception (and, for rank 2, the injection) buffer
+                # at every access; the window cache makes repeats free.
+                yield from ctx.windows.map_buffer(
+                    1, ("bcast-buf", reception_rank), self.nbytes
+                )
+                if local == 2:
+                    yield from ctx.windows.map_buffer(
+                        0, ("bcast-buf", injection_rank), self.nbytes
+                    )
+                yield from ctx.node.core_copy(size, name=f"shaddr.l{local}")
+                data = self.payload_slice(offset, size)
+                if data is not None:
+                    self.write_result(rank, offset, data)
+                if local == 2:
+                    # The additional copy into the injection process.
+                    yield from ctx.node.core_copy(size, name="shaddr.inj")
+                    if data is not None:
+                        self.write_result(injection_rank, offset, data)
+                    self.injector_filled[node].add(1)
+                offset += size

@@ -1,0 +1,22 @@
+"""Gather algorithms — second half of the paper's future work (section VII).
+
+``MPI_Gather`` moves every rank's block to the root.  The network protocol
+(a pipelined node-level ring toward the root node) is common; the variants
+apply the paper's intra-node contrast:
+
+``gather-ring-current``
+    The DMA stages the local peers' blocks into the master's send buffer
+    before the node block enters the ring.
+
+``gather-ring-shaddr``
+    The master maps the peers' application buffers and the network sends
+    straight out of them — no staging copies, and an unloaded DMA.
+"""
+
+from repro.collectives.gather.base import GatherInvocation
+from repro.collectives.gather.ring import (
+    RingCurrentGather,
+    RingShaddrGather,
+)
+
+__all__ = ["GatherInvocation", "RingCurrentGather", "RingShaddrGather"]

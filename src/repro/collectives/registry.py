@@ -1,0 +1,245 @@
+"""Algorithm registry: names -> invocation classes, plus auto-selection.
+
+The BG/P stack glues its algorithms into MPICH through CCMI and picks a
+protocol by message size ("depending on the message size, either the Torus
+or the Collective network based algorithms perform optimally", section V).
+``select_bcast`` implements that policy for the proposed algorithm set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.collectives.base import BcastInvocation
+from repro.util.units import KIB
+
+
+def _bcast_classes() -> Dict[str, Type[BcastInvocation]]:
+    # Imported lazily to keep module import order simple.
+    from repro.collectives.bcast import (
+        TorusDirectPutBcast,
+        TorusDirectPutSmpBcast,
+        TorusFifoBcast,
+        TorusShaddrBcast,
+        TreeDmaDirectPutBcast,
+        TreeDmaFifoBcast,
+        TreeShaddrBcast,
+        TreeShmemBcast,
+        TreeSmpBcast,
+    )
+
+    classes = [
+        TorusDirectPutBcast,
+        TorusDirectPutSmpBcast,
+        TorusFifoBcast,
+        TorusShaddrBcast,
+        TreeSmpBcast,
+        TreeDmaFifoBcast,
+        TreeDmaDirectPutBcast,
+        TreeShmemBcast,
+        TreeShaddrBcast,
+    ]
+    return {cls.name: cls for cls in classes}
+
+
+def _allreduce_classes() -> Dict[str, type]:
+    from repro.collectives.allreduce import (
+        TorusCurrentAllreduce,
+        TorusShaddrAllreduce,
+        TreeAllreduce,
+    )
+
+    classes = [TorusCurrentAllreduce, TorusShaddrAllreduce, TreeAllreduce]
+    return {cls.name: cls for cls in classes}
+
+
+def _allgather_classes() -> Dict[str, type]:
+    from repro.collectives.allgather import (
+        RingCurrentAllgather,
+        RingShaddrAllgather,
+    )
+
+    classes = [RingCurrentAllgather, RingShaddrAllgather]
+    return {cls.name: cls for cls in classes}
+
+
+def _alltoall_classes() -> Dict[str, type]:
+    from repro.collectives.alltoall import (
+        ShiftCurrentAlltoall,
+        ShiftShaddrAlltoall,
+    )
+
+    classes = [ShiftCurrentAlltoall, ShiftShaddrAlltoall]
+    return {cls.name: cls for cls in classes}
+
+
+def alltoall_algorithm(name: str) -> type:
+    """Look up an alltoall algorithm class by registry name."""
+    classes = _alltoall_classes()
+    if name not in classes:
+        raise KeyError(
+            f"unknown alltoall algorithm {name!r}; known: {sorted(classes)}"
+        )
+    return classes[name]
+
+
+def list_alltoall_algorithms() -> List[str]:
+    """All registered alltoall algorithm names."""
+    return sorted(_alltoall_classes())
+
+
+def _barrier_classes() -> Dict[str, type]:
+    from repro.collectives.barrier import (
+        GiBarrier,
+        TorusDisseminationBarrier,
+        TreeBarrier,
+    )
+
+    classes = [GiBarrier, TreeBarrier, TorusDisseminationBarrier]
+    return {cls.name: cls for cls in classes}
+
+
+def barrier_algorithm(name: str) -> type:
+    """Look up a barrier algorithm class by registry name."""
+    classes = _barrier_classes()
+    if name not in classes:
+        raise KeyError(
+            f"unknown barrier algorithm {name!r}; known: {sorted(classes)}"
+        )
+    return classes[name]
+
+
+def list_barrier_algorithms() -> List[str]:
+    """All registered barrier algorithm names."""
+    return sorted(_barrier_classes())
+
+
+def _scatter_classes() -> Dict[str, type]:
+    from repro.collectives.scatter import (
+        RingCurrentScatter,
+        RingShaddrScatter,
+    )
+
+    classes = [RingCurrentScatter, RingShaddrScatter]
+    return {cls.name: cls for cls in classes}
+
+
+def scatter_algorithm(name: str) -> type:
+    """Look up a scatter algorithm class by registry name."""
+    classes = _scatter_classes()
+    if name not in classes:
+        raise KeyError(
+            f"unknown scatter algorithm {name!r}; known: {sorted(classes)}"
+        )
+    return classes[name]
+
+
+def list_scatter_algorithms() -> List[str]:
+    """All registered scatter algorithm names."""
+    return sorted(_scatter_classes())
+
+
+def _reduce_classes() -> Dict[str, type]:
+    from repro.collectives.reduce import TorusCurrentReduce, TorusShaddrReduce
+
+    classes = [TorusCurrentReduce, TorusShaddrReduce]
+    return {cls.name: cls for cls in classes}
+
+
+def reduce_algorithm(name: str) -> type:
+    """Look up a reduce algorithm class by registry name."""
+    classes = _reduce_classes()
+    if name not in classes:
+        raise KeyError(
+            f"unknown reduce algorithm {name!r}; known: {sorted(classes)}"
+        )
+    return classes[name]
+
+
+def list_reduce_algorithms() -> List[str]:
+    """All registered reduce algorithm names."""
+    return sorted(_reduce_classes())
+
+
+def _gather_classes() -> Dict[str, type]:
+    from repro.collectives.gather import RingCurrentGather, RingShaddrGather
+
+    classes = [RingCurrentGather, RingShaddrGather]
+    return {cls.name: cls for cls in classes}
+
+
+def gather_algorithm(name: str) -> type:
+    """Look up a gather algorithm class by registry name."""
+    classes = _gather_classes()
+    if name not in classes:
+        raise KeyError(
+            f"unknown gather algorithm {name!r}; known: {sorted(classes)}"
+        )
+    return classes[name]
+
+
+def list_gather_algorithms() -> List[str]:
+    """All registered gather algorithm names."""
+    return sorted(_gather_classes())
+
+
+def allgather_algorithm(name: str) -> type:
+    """Look up an allgather algorithm class by registry name."""
+    classes = _allgather_classes()
+    if name not in classes:
+        raise KeyError(
+            f"unknown allgather algorithm {name!r}; known: {sorted(classes)}"
+        )
+    return classes[name]
+
+
+def list_allgather_algorithms() -> List[str]:
+    """All registered allgather algorithm names."""
+    return sorted(_allgather_classes())
+
+
+def bcast_algorithm(name: str) -> Type[BcastInvocation]:
+    """Look up a broadcast algorithm class by registry name."""
+    classes = _bcast_classes()
+    if name not in classes:
+        raise KeyError(
+            f"unknown bcast algorithm {name!r}; known: {sorted(classes)}"
+        )
+    return classes[name]
+
+
+def allreduce_algorithm(name: str) -> type:
+    """Look up an allreduce algorithm class by registry name."""
+    classes = _allreduce_classes()
+    if name not in classes:
+        raise KeyError(
+            f"unknown allreduce algorithm {name!r}; known: {sorted(classes)}"
+        )
+    return classes[name]
+
+
+def list_bcast_algorithms() -> List[str]:
+    """All registered broadcast algorithm names."""
+    return sorted(_bcast_classes())
+
+
+def list_allreduce_algorithms() -> List[str]:
+    """All registered allreduce algorithm names."""
+    return sorted(_allreduce_classes())
+
+
+def select_bcast(nbytes: int, ppn: int) -> str:
+    """Message-size-based protocol selection (the proposed algorithm set).
+
+    Short messages take the latency-optimized shared-memory tree scheme;
+    medium messages the core-specialized shared-address tree scheme; large
+    messages move to the torus where six links beat the single tree link.
+    SMP mode has no intra-node stage and uses the plain hardware protocols.
+    """
+    if ppn == 1:
+        return "tree-smp" if nbytes <= 256 * KIB else "torus-direct-put-smp"
+    if nbytes <= 8 * KIB:
+        return "tree-shmem"
+    if nbytes <= 256 * KIB:
+        return "tree-shaddr"
+    return "torus-shaddr"

@@ -1,0 +1,24 @@
+"""Scatter algorithms (extension).
+
+``MPI_Scatter`` hands each rank its own block of the root's buffer.  The
+network protocol is the ring gather run backwards: the root streams node
+blocks outward, farthest destination first, and every ring position peels
+off its own block while forwarding the rest — fully pipelined.  The
+intra-node contrast is the usual one:
+
+``scatter-ring-current``
+    The DMA direct-puts each local peer's sub-block out of the master's
+    staging buffer.
+
+``scatter-ring-shaddr``
+    Peers copy their own sub-block straight out of the master's mapped
+    buffer after a software-counter notification.
+"""
+
+from repro.collectives.scatter.base import ScatterInvocation
+from repro.collectives.scatter.ring import (
+    RingCurrentScatter,
+    RingShaddrScatter,
+)
+
+__all__ = ["ScatterInvocation", "RingCurrentScatter", "RingShaddrScatter"]

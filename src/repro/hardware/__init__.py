@@ -1,0 +1,25 @@
+"""Models of the Blue Gene/P hardware.
+
+Everything the paper's algorithms touch is modelled here:
+
+* :mod:`repro.hardware.params` — every calibrated constant, documented.
+* :mod:`repro.hardware.memory` — the cache-aware memory-port model (the 8 MB
+  L3 knee that bends Figure 10's right edge lives here).
+* :mod:`repro.hardware.node` — a compute node: four cores, a memory port, a
+  DMA engine, torus and collective-network ports.
+* :mod:`repro.hardware.dma` — DMA descriptor/counter semantics (direct
+  put/get, memory FIFO, local copies).
+* :mod:`repro.hardware.torus` — the 3D torus with deposit-bit line
+  broadcasts and point-to-point sends.
+* :mod:`repro.hardware.tree` — the collective network (tree) with its ALU.
+* :mod:`repro.hardware.machine` — assembles nodes + networks and maps MPI
+  ranks onto cores according to the operating mode (SMP/DUAL/QUAD).
+"""
+
+from repro.hardware.params import BGPParams
+from repro.hardware.machine import Machine, Mode
+from repro.hardware.node import Node
+
+__all__ = ["BGPParams", "Machine", "Mode", "Node"]
+# Fault injection lives in repro.hardware.faults (imported explicitly by
+# users; not re-exported to keep the failure-injection surface deliberate).

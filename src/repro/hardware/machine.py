@@ -1,0 +1,125 @@
+"""The assembled machine: nodes, networks, modes, and rank mapping.
+
+A :class:`Machine` is the root object the MPI layer and the collective
+algorithms work against.  It owns the DES engine and flow network, builds
+every node and both interconnects, and maps MPI ranks onto (node, core)
+pairs according to the operating mode (section III):
+
+* ``SMP``  — one process per node (plus an optional helper communication
+  thread on a second core);
+* ``DUAL`` — two processes per node;
+* ``QUAD`` — four processes per node (the mode this paper optimizes).
+
+Rank mapping is node-major ("TXYZ"-style): ranks ``[n*ppn, (n+1)*ppn)``
+live on node ``n`` with local ranks ``0..ppn-1``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Tuple
+
+from repro.hardware.dma import DmaEngine
+from repro.hardware.memory import MemoryModel, MemoryRegime
+from repro.hardware.node import Node
+from repro.hardware.params import BGPParams
+from repro.hardware.torus import TorusNetwork
+from repro.hardware.tree import CollectiveNetwork
+from repro.sim.engine import Engine, Process
+from repro.sim.flownet import FlowNetwork
+from repro.sim.sync import SimBarrier
+
+
+class Mode(enum.Enum):
+    """BG/P operating mode: MPI processes per node."""
+
+    SMP = 1
+    DUAL = 2
+    QUAD = 4
+
+    @property
+    def processes_per_node(self) -> int:
+        return self.value
+
+
+class Machine:
+    """A simulated BG/P partition."""
+
+    def __init__(
+        self,
+        torus_dims: Tuple[int, int, int] = (4, 4, 4),
+        mode: Mode = Mode.QUAD,
+        params: Optional[BGPParams] = None,
+        engine: Optional[Engine] = None,
+        wrap: bool = True,
+    ):
+        self.params = params if params is not None else BGPParams()
+        self.mode = mode
+        self.engine = engine if engine is not None else Engine()
+        self.flownet = FlowNetwork(self.engine)
+        self.memory_model = MemoryModel(self.params)
+        self.torus = TorusNetwork(self, tuple(torus_dims), wrap=wrap)
+        self.nnodes = self.torus.nnodes
+        self.nodes: List[Node] = [
+            Node(self, i, self.torus.coords(i)) for i in range(self.nnodes)
+        ]
+        self.dma: List[DmaEngine] = [DmaEngine(node) for node in self.nodes]
+        self.tree = CollectiveNetwork(self)
+        self.ppn = mode.processes_per_node
+        self.nprocs = self.nnodes * self.ppn
+        if self.ppn > self.params.cores_per_node:
+            raise ValueError(
+                f"mode {mode} needs {self.ppn} cores but the node has "
+                f"{self.params.cores_per_node}"
+            )
+
+    # -- rank mapping ----------------------------------------------------
+    def rank_to_node(self, rank: int) -> int:
+        """MPI rank -> node index (node-major mapping)."""
+        self._check_rank(rank)
+        return rank // self.ppn
+
+    def rank_to_local(self, rank: int) -> int:
+        """MPI rank -> local rank on its node (0..ppn-1)."""
+        self._check_rank(rank)
+        return rank % self.ppn
+
+    def node_ranks(self, node_index: int) -> List[int]:
+        """All MPI ranks living on node ``node_index``."""
+        if not 0 <= node_index < self.nnodes:
+            raise ValueError(f"node index out of range: {node_index}")
+        base = node_index * self.ppn
+        return list(range(base, base + self.ppn))
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.nprocs:
+            raise ValueError(f"rank out of range: {rank} (nprocs={self.nprocs})")
+
+    # -- configuration ----------------------------------------------------
+    def set_working_set(self, nbytes: int) -> MemoryRegime:
+        """Install the cache regime for an upcoming collective on all nodes."""
+        regime = self.memory_model.regime(nbytes)
+        for node in self.nodes:
+            node.set_regime(regime)
+        return regime
+
+    # -- conveniences ------------------------------------------------------
+    def spawn(self, generator, name: str = "?") -> Process:
+        """Spawn a simulation process on this machine's engine."""
+        return self.engine.spawn(generator, name=name)
+
+    def make_barrier(self, parties: Optional[int] = None) -> SimBarrier:
+        """A barrier across ``parties`` processes (default: all MPI ranks),
+        with the global-interrupt-network latency."""
+        n = parties if parties is not None else self.nprocs
+        return SimBarrier(self.engine, n, latency=self.params.barrier_latency)
+
+    def run(self) -> float:
+        """Drain the event queue; returns the final simulation time."""
+        return self.engine.run()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Machine {self.torus.dims} mode={self.mode.name} "
+            f"nprocs={self.nprocs}>"
+        )

@@ -1,0 +1,31 @@
+"""A small MPI-like front end over the simulated machine.
+
+This is the layer a user of the library touches: build a
+:class:`~repro.hardware.machine.Machine`, wrap it in a
+:class:`~repro.mpi.comm.Communicator`, and call ``bcast`` / ``allreduce`` /
+``barrier``.  Algorithm selection follows the BG/P stack's message-size
+policy unless an explicit algorithm name is given.
+"""
+
+from repro.mpi.comm import Communicator
+from repro.mpi.datatypes import Datatype, DOUBLE, FLOAT, INT32, INT64, UINT8
+from repro.mpi.ops import MAX, MIN, PROD, SUM, ReduceOp
+from repro.mpi.p2p import PingPongResult, run_pingpong, select_protocol
+
+__all__ = [
+    "Communicator",
+    "PingPongResult",
+    "run_pingpong",
+    "select_protocol",
+    "Datatype",
+    "UINT8",
+    "INT32",
+    "INT64",
+    "FLOAT",
+    "DOUBLE",
+    "ReduceOp",
+    "SUM",
+    "MAX",
+    "MIN",
+    "PROD",
+]

@@ -1,0 +1,213 @@
+"""The Communicator: the user-facing entry point.
+
+A communicator wraps a machine and exposes the collectives the paper
+optimizes.  Each call runs the Fig-5 measurement loop on the simulated
+machine and returns a :class:`~repro.collectives.base.CollectiveResult`
+(timing + bandwidth); with ``verify=True`` real payload bytes flow through
+every modelled stage and are checked bit-exactly.
+
+Example
+-------
+>>> from repro import Machine, Mode, Communicator
+>>> m = Machine(torus_dims=(2, 2, 2), mode=Mode.QUAD)
+>>> comm = Communicator(m)
+>>> result = comm.bcast(nbytes="128K", algorithm="torus-shaddr")
+>>> result.bandwidth_mbs  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.bench.harness import (
+    run_allgather,
+    run_allreduce,
+    run_alltoall,
+    run_barrier,
+    run_bcast,
+    run_gather,
+    run_reduce,
+    run_scatter,
+)
+from repro.collectives.base import CollectiveResult
+from repro.collectives.registry import (
+    list_bcast_algorithms,
+    select_bcast,
+)
+from repro.hardware.machine import Machine
+from repro.mpi.datatypes import DOUBLE, Datatype
+from repro.mpi.ops import SUM, ReduceOp
+from repro.util.units import parse_size
+
+
+class Communicator:
+    """MPI_COMM_WORLD over a simulated BG/P machine."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+
+    @property
+    def size(self) -> int:
+        """Number of MPI ranks."""
+        return self.machine.nprocs
+
+    # -- collectives -----------------------------------------------------
+    def bcast(
+        self,
+        nbytes: Union[int, str],
+        root: int = 0,
+        algorithm: str = "auto",
+        iters: int = 1,
+        verify: bool = False,
+        window_caching: bool = True,
+    ) -> CollectiveResult:
+        """Measure an ``MPI_Bcast`` of ``nbytes`` (int or ``"128K"`` style).
+
+        ``algorithm="auto"`` applies the BG/P message-size selection policy;
+        any registered name (see :func:`available_bcast_algorithms`) forces
+        a specific scheme.
+        """
+        size = parse_size(nbytes)
+        name = (
+            select_bcast(size, self.machine.ppn)
+            if algorithm == "auto"
+            else algorithm
+        )
+        return run_bcast(
+            self.machine,
+            name,
+            size,
+            root=root,
+            iters=iters,
+            verify=verify,
+            window_caching=window_caching,
+        )
+
+    def allreduce(
+        self,
+        count: int,
+        dtype: Datatype = DOUBLE,
+        op: ReduceOp = SUM,
+        algorithm: str = "auto",
+        iters: int = 1,
+        verify: bool = False,
+        window_caching: bool = True,
+    ) -> CollectiveResult:
+        """Measure an ``MPI_Allreduce`` of ``count`` elements.
+
+        The modelled algorithms implement the paper's benchmark case
+        (sum of doubles); other dtypes/ops are validated and converted to
+        the equivalent byte volume for timing, with verification supported
+        for the double-sum case.
+        """
+        if dtype is not DOUBLE or op is not SUM:
+            if verify:
+                raise NotImplementedError(
+                    "payload verification is implemented for the paper's "
+                    "benchmark case (MPI_DOUBLE + MPI_SUM)"
+                )
+            # Timing model: scale to the byte volume of doubles.
+            count = max(1, count * dtype.itemsize // DOUBLE.itemsize)
+        name = algorithm
+        if algorithm == "auto":
+            nbytes = count * DOUBLE.itemsize
+            name = (
+                "allreduce-tree"
+                if nbytes <= 64 * 1024 or self.machine.ppn != 4
+                else "allreduce-torus-shaddr"
+            )
+        return run_allreduce(
+            self.machine,
+            name,
+            count,
+            iters=iters,
+            verify=verify,
+            window_caching=window_caching,
+        )
+
+    def reduce(
+        self,
+        count: int,
+        algorithm: str = "auto",
+        iters: int = 1,
+        verify: bool = False,
+        window_caching: bool = True,
+    ) -> CollectiveResult:
+        """Measure an ``MPI_Reduce`` (sum of doubles to rank 0)."""
+        if algorithm == "auto":
+            algorithm = (
+                "reduce-torus-shaddr"
+                if self.machine.ppn == 4
+                else "reduce-torus-current"
+            )
+        return run_reduce(
+            self.machine, algorithm, count, iters=iters, verify=verify,
+            window_caching=window_caching,
+        )
+
+    def gather(
+        self,
+        block_bytes: Union[int, str],
+        algorithm: str = "gather-ring-shaddr",
+        iters: int = 1,
+        verify: bool = False,
+    ) -> CollectiveResult:
+        """Measure an ``MPI_Gather`` to rank 0."""
+        return run_gather(
+            self.machine, algorithm, parse_size(block_bytes), iters=iters,
+            verify=verify,
+        )
+
+    def scatter(
+        self,
+        block_bytes: Union[int, str],
+        algorithm: str = "scatter-ring-shaddr",
+        iters: int = 1,
+        verify: bool = False,
+    ) -> CollectiveResult:
+        """Measure an ``MPI_Scatter`` from rank 0."""
+        return run_scatter(
+            self.machine, algorithm, parse_size(block_bytes), iters=iters,
+            verify=verify,
+        )
+
+    def allgather(
+        self,
+        block_bytes: Union[int, str],
+        algorithm: str = "allgather-ring-shaddr",
+        iters: int = 1,
+        verify: bool = False,
+    ) -> CollectiveResult:
+        """Measure an ``MPI_Allgather``."""
+        return run_allgather(
+            self.machine, algorithm, parse_size(block_bytes), iters=iters,
+            verify=verify,
+        )
+
+    def alltoall(
+        self,
+        block_bytes: Union[int, str],
+        algorithm: str = "alltoall-shift-shaddr",
+        iters: int = 1,
+        verify: bool = False,
+    ) -> CollectiveResult:
+        """Measure an ``MPI_Alltoall`` with per-pair blocks."""
+        return run_alltoall(
+            self.machine, algorithm, parse_size(block_bytes), iters=iters,
+            verify=verify,
+        )
+
+    def barrier(self, algorithm: str = "barrier-gi") -> float:
+        """Run one global barrier; returns its measured latency in µs
+        (excluding the MPI software entry overhead)."""
+        result = run_barrier(self.machine, algorithm)
+        return result.elapsed_us - self.machine.params.mpi_overhead
+
+    # -- introspection -----------------------------------------------------
+    @staticmethod
+    def available_bcast_algorithms() -> list:
+        """Names accepted by :meth:`bcast`'s ``algorithm`` parameter."""
+        return list_bcast_algorithms()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Communicator size={self.size} machine={self.machine!r}>"

@@ -1,0 +1,28 @@
+"""Messaging-stack layer (the DCMF/CCMI analog).
+
+The collective algorithms of section V are *schedules* over hardware
+primitives; this subpackage holds the schedule machinery:
+
+* :mod:`repro.msg.color` — connection colors: the (dimension-order, sign)
+  identity of each edge-disjoint route, six on a 3D torus;
+* :mod:`repro.msg.routes` — the multi-color rectangle broadcast schedule of
+  Fig 2 (who receives in which phase, who relays along which dimension) and
+  the ring orders used by the allreduce;
+* :mod:`repro.msg.pipeline` — chunking helpers for software pipelining
+  (message counters advance in units of the pipeline width).
+"""
+
+from repro.msg.color import Color, partition_bytes, torus_colors
+from repro.msg.pipeline import ChunkPlan, split_chunks
+from repro.msg.routes import NodeRole, RectangleSchedule, ring_order
+
+__all__ = [
+    "Color",
+    "torus_colors",
+    "partition_bytes",
+    "ChunkPlan",
+    "split_chunks",
+    "NodeRole",
+    "RectangleSchedule",
+    "ring_order",
+]

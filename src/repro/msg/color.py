@@ -1,0 +1,85 @@
+"""Connection colors.
+
+"The collective algorithms on BG/P are designed in a manner to keep all the
+links busy ... by assigning unique connection ids to each of the links and
+scheduling the data movement on each connection. Specifically, these are
+referred to as the multi-color algorithms." (section V-A-1)
+
+A color on the 3D torus is a dimension order plus a traversal sign; the six
+colors (three rotations x two signs) correspond to the six edge-disjoint
+spanning routes the hardware layer guarantees (see
+:mod:`repro.hardware.torus` for how disjointness is modelled).  The message
+is split across colors, so six colors aggregate to six links' bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class Color:
+    """One connection color: a route identity for multi-color collectives."""
+
+    #: connection id (0..ncolors-1)
+    id: int
+    #: dimension traversal order, a permutation of (0, 1, 2)
+    dim_order: Tuple[int, int, int]
+    #: traversal direction along every phase (+1 or -1)
+    sign: int
+
+    def __post_init__(self) -> None:
+        if sorted(self.dim_order) != [0, 1, 2]:
+            raise ValueError(
+                f"dim_order must be a permutation of (0,1,2), got {self.dim_order}"
+            )
+        if self.sign not in (1, -1):
+            raise ValueError(f"sign must be +-1, got {self.sign}")
+
+
+def torus_colors(ncolors: int) -> List[Color]:
+    """The standard color set for a 3D torus.
+
+    ``ncolors`` may be:
+
+    * 6 — the full torus set (three rotations x two signs), peak 6 links;
+    * 3 — the mesh/reduced set (three rotations, positive sign), used by the
+      multi-color allreduce ("three edge-disjoint routes ... both for
+      reduction and broadcast", section V-C-1);
+    * 1 — a single-route schedule, useful for tests and debugging.
+    """
+    rotations: List[Tuple[int, int, int]] = [(0, 1, 2), (1, 2, 0), (2, 0, 1)]
+    if ncolors == 1:
+        return [Color(0, rotations[0], 1)]
+    if ncolors == 3:
+        return [Color(i, rotations[i], 1) for i in range(3)]
+    if ncolors == 6:
+        colors = []
+        for i in range(3):
+            colors.append(Color(2 * i, rotations[i], 1))
+            colors.append(Color(2 * i + 1, rotations[i], -1))
+        return colors
+    raise ValueError(f"ncolors must be 1, 3 or 6, got {ncolors}")
+
+
+def partition_bytes(nbytes: int, ncolors: int, align: int = 1) -> List[int]:
+    """Split a message across colors (earlier colors get the remainder).
+
+    Every color gets a contiguous partition; concatenated in color order the
+    partitions reconstruct the message.  With ``align > 1`` every partition
+    boundary falls on a multiple of ``align`` (the allreduce aligns to the
+    8-byte double so partitions stay element-addressable); ``nbytes`` must
+    then be a multiple of ``align``.
+    """
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+    if ncolors < 1:
+        raise ValueError(f"ncolors must be >= 1, got {ncolors}")
+    if align < 1:
+        raise ValueError(f"align must be >= 1, got {align}")
+    if nbytes % align:
+        raise ValueError(f"nbytes={nbytes} not a multiple of align={align}")
+    units = nbytes // align
+    base, rest = divmod(units, ncolors)
+    return [(base + (1 if i < rest else 0)) * align for i in range(ncolors)]

@@ -1,0 +1,170 @@
+"""The discrete-event engine and the Process abstraction.
+
+Time is a ``float`` in microseconds.  The engine owns a binary heap of
+``(time, seq, callback, value)`` entries; ``seq`` is a global tick that makes
+event ordering total and therefore the whole simulation deterministic.
+
+A :class:`Process` wraps a generator.  The generator yields *waitables*
+(:mod:`repro.sim.events`); when a waitable fires, the engine ``send``s the
+waitable's value back into the generator.  A generator may also ``yield``
+another ``Process`` to join it, or ``yield from`` helper sub-generators to
+compose behaviour (the idiom the collective algorithms use heavily).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.sim.events import Event, Timeout, Waitable
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+class Process(Waitable):
+    """A cooperative simulation process wrapping a generator.
+
+    The process is itself a waitable: yielding a process joins it, resuming
+    the waiter with the joined process's return value once it terminates.
+    Exceptions raised inside a process propagate out of :meth:`Engine.run`,
+    so a bug in a model fails the simulation loudly rather than deadlocking.
+    """
+
+    __slots__ = ("engine", "generator", "name", "finished", "result", "_done_event")
+
+    def __init__(self, engine: "Engine", generator: Generator, name: str = "?"):
+        self.engine = engine
+        self.generator = generator
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self._done_event = Event(engine)
+
+    # -- Waitable protocol: joining ------------------------------------
+    def subscribe(self, process: "Process") -> None:
+        self._done_event.subscribe(process)
+
+    @property
+    def done_event(self) -> Event:
+        """Event triggered with the process result upon termination."""
+        return self._done_event
+
+    # -- execution ------------------------------------------------------
+    def resume(self, value: Any = None) -> None:
+        """Advance the generator by one step; called by waitables."""
+        if self.finished:
+            raise SimulationError(f"process {self.name!r} resumed after finish")
+        try:
+            target = self.generator.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            self._done_event.trigger(stop.value)
+            return
+        except Exception as exc:  # annotate and re-raise: fail loudly
+            self.finished = True
+            raise SimulationError(
+                f"process {self.name!r} raised {type(exc).__name__}: {exc}"
+            ) from exc
+        if not isinstance(target, Waitable):
+            raise SimulationError(
+                f"process {self.name!r} yielded non-waitable {target!r}"
+            )
+        target.subscribe(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else "running"
+        return f"<Process {self.name} {state}>"
+
+
+class Engine:
+    """The event loop: a virtual clock plus a deterministic event heap."""
+
+    def __init__(self, trace: bool = False):
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, Callable, Any]] = []
+        self._seq: int = 0
+        self._processes: List[Process] = []
+        self._running = False
+        self.trace_enabled = trace
+        self.trace_log: List[Tuple[float, str]] = []
+
+    # -- scheduling ------------------------------------------------------
+    def call_at(self, when: float, callback: Callable, value: Any = None) -> None:
+        """Schedule ``callback(value)`` at absolute time ``when``."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule in the past: {when} < now={self.now}"
+            )
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, callback, value))
+
+    def call_after(self, delay: float, callback: Callable, value: Any = None) -> None:
+        """Schedule ``callback(value)`` after ``delay`` microseconds."""
+        self.call_at(self.now + delay, callback, value)
+
+    # -- waitable factories ----------------------------------------------
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a timeout waitable; ``yield engine.timeout(dt)``."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """Create a fresh one-shot event."""
+        return Event(self)
+
+    # -- processes ---------------------------------------------------------
+    def spawn(self, generator: Generator, name: str = "?") -> Process:
+        """Create a process from a generator and start it at the current time."""
+        process = Process(self, generator, name=name)
+        self._processes.append(process)
+        # First resume primes the generator (send(None) == next()).
+        self.call_at(self.now, process.resume, None)
+        return process
+
+    # -- running -----------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Run events until the heap drains or the clock passes ``until``.
+
+        Returns the final simulation time.  Re-entrant calls are forbidden.
+        """
+        if self._running:
+            raise SimulationError("Engine.run is not re-entrant")
+        self._running = True
+        try:
+            while self._heap:
+                when, _seq, callback, value = self._heap[0]
+                if until is not None and when > until:
+                    self.now = until
+                    break
+                heapq.heappop(self._heap)
+                self.now = when
+                callback(value)
+            else:
+                if until is not None and until > self.now:
+                    self.now = until
+        finally:
+            self._running = False
+        return self.now
+
+    def run_until_processes_finish(self, processes: List[Process]) -> float:
+        """Run until every listed process has terminated.
+
+        Raises :class:`SimulationError` on deadlock (event heap drained while
+        some process is still parked on a waitable that can never fire).
+        """
+        self.run()
+        stuck = [p for p in processes if not p.finished]
+        if stuck:
+            names = ", ".join(p.name for p in stuck[:8])
+            raise SimulationError(
+                f"deadlock: {len(stuck)} process(es) never finished: {names}"
+            )
+        return self.now
+
+    # -- tracing -------------------------------------------------------------
+    def trace(self, message: str) -> None:
+        """Record a trace line at the current time (no-op unless enabled)."""
+        if self.trace_enabled:
+            self.trace_log.append((self.now, message))

@@ -1,0 +1,46 @@
+"""Utility helpers shared across the repro package.
+
+This subpackage deliberately has no dependencies on the simulator or the
+hardware models so that every other layer may import it freely.
+"""
+
+from repro.util.units import (
+    KIB,
+    MIB,
+    GIB,
+    US,
+    MS,
+    S,
+    format_bytes,
+    format_time_us,
+    parse_size,
+    bandwidth_mbs,
+)
+from repro.util.validation import (
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_type,
+    check_power_of_two,
+)
+from repro.util.stats import RunningStats, summarize
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "US",
+    "MS",
+    "S",
+    "format_bytes",
+    "format_time_us",
+    "parse_size",
+    "bandwidth_mbs",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_type",
+    "check_power_of_two",
+    "RunningStats",
+    "summarize",
+]

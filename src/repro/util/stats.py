@@ -1,0 +1,72 @@
+"""Streaming statistics used by the benchmark harness.
+
+The Fig-5 microbenchmark averages per-iteration elapsed times; we also keep
+min/max and a Welford variance so reports can show dispersion without
+storing every sample.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RunningStats:
+    """Welford-style running mean/variance with min/max tracking."""
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = field(default=0.0, repr=False)
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def add(self, x: float) -> None:
+        """Fold one sample into the summary."""
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (x - self.mean)
+        if x < self.minimum:
+            self.minimum = x
+        if x > self.maximum:
+            self.maximum = x
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (0.0 when fewer than two samples)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Return the summary of the union of both sample sets."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            return other
+        merged = RunningStats()
+        merged.count = self.count + other.count
+        delta = other.mean - self.mean
+        merged.mean = self.mean + delta * other.count / merged.count
+        merged._m2 = (
+            self._m2
+            + other._m2
+            + delta * delta * self.count * other.count / merged.count
+        )
+        merged.minimum = min(self.minimum, other.minimum)
+        merged.maximum = max(self.maximum, other.maximum)
+        return merged
+
+
+def summarize(samples) -> RunningStats:
+    """Build a :class:`RunningStats` from an iterable of floats."""
+    stats = RunningStats()
+    for x in samples:
+        stats.add(float(x))
+    return stats

@@ -1,0 +1,106 @@
+"""Byte-size and time-unit helpers.
+
+The simulator's canonical time unit is the **microsecond** (float).  The
+canonical data unit is the **byte** (int).  Bandwidths are expressed in
+MB/s, where 1 MB = 1e6 bytes, matching how the paper reports throughput
+("MB/s" axes of Figures 7-10 and Table I).
+"""
+
+from __future__ import annotations
+
+import re
+
+#: Binary byte units (message sizes in the paper are binary: 128K = 131072).
+KIB: int = 1024
+MIB: int = 1024 * 1024
+GIB: int = 1024 * 1024 * 1024
+
+#: Time units expressed in the canonical microsecond unit.
+US: float = 1.0
+MS: float = 1000.0
+S: float = 1_000_000.0
+
+_SIZE_RE = re.compile(r"^\s*(\d+(?:\.\d+)?)\s*([KMG]i?B?|B)?\s*$", re.IGNORECASE)
+
+_SUFFIX_FACTOR = {
+    None: 1,
+    "B": 1,
+    "K": KIB,
+    "KB": KIB,
+    "KIB": KIB,
+    "M": MIB,
+    "MB": MIB,
+    "MIB": MIB,
+    "G": GIB,
+    "GB": GIB,
+    "GIB": GIB,
+}
+
+
+def parse_size(text: str | int) -> int:
+    """Parse a human size such as ``"128K"``, ``"2M"`` or ``4096`` into bytes.
+
+    The paper labels its x-axes with binary sizes (``1K``, ``128K``, ``2M``);
+    this helper accepts exactly that notation.
+
+    >>> parse_size("128K")
+    131072
+    >>> parse_size("2M")
+    2097152
+    >>> parse_size(512)
+    512
+    """
+    if isinstance(text, int):
+        if text < 0:
+            raise ValueError(f"size must be non-negative, got {text}")
+        return text
+    m = _SIZE_RE.match(text)
+    if not m:
+        raise ValueError(f"unparseable size: {text!r}")
+    value, suffix = m.groups()
+    key = suffix.upper() if suffix else None
+    factor = _SUFFIX_FACTOR[key]
+    nbytes = float(value) * factor
+    if not nbytes.is_integer():
+        raise ValueError(f"size {text!r} is not a whole number of bytes")
+    return int(nbytes)
+
+
+def format_bytes(nbytes: int) -> str:
+    """Format a byte count the way the paper labels message sizes.
+
+    >>> format_bytes(131072)
+    '128K'
+    >>> format_bytes(2097152)
+    '2M'
+    >>> format_bytes(768)
+    '768'
+    """
+    if nbytes < 0:
+        raise ValueError("nbytes must be non-negative")
+    for factor, suffix in ((GIB, "G"), (MIB, "M"), (KIB, "K")):
+        if nbytes >= factor and nbytes % factor == 0:
+            return f"{nbytes // factor}{suffix}"
+    return str(nbytes)
+
+
+def format_time_us(t_us: float) -> str:
+    """Render a microsecond quantity with a sensible unit."""
+    if t_us < 0:
+        raise ValueError("time must be non-negative")
+    if t_us < 1e3:
+        return f"{t_us:.2f}us"
+    if t_us < 1e6:
+        return f"{t_us / 1e3:.3f}ms"
+    return f"{t_us / 1e6:.4f}s"
+
+
+def bandwidth_mbs(nbytes: int, elapsed_us: float) -> float:
+    """Throughput in MB/s (1 MB = 1e6 bytes) for ``nbytes`` over ``elapsed_us``.
+
+    This matches the units of the paper's bandwidth figures: bytes moved by
+    the collective divided by the measured elapsed time.
+    """
+    if elapsed_us <= 0:
+        raise ValueError(f"elapsed time must be positive, got {elapsed_us}")
+    return nbytes / elapsed_us  # bytes/us == MB/s with 1 MB = 1e6 bytes

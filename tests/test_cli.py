@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParsing:
+    def test_dims_parse(self):
+        args = build_parser().parse_args(["bcast", "--dims", "4x2x1"])
+        assert args.dims == (4, 2, 1)
+
+    def test_bad_dims_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bcast", "--dims", "4x2"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bcast", "--dims", "0x2x2"])
+
+    def test_mode_parse(self):
+        args = build_parser().parse_args(["bcast", "--mode", "smp"])
+        assert args.mode.name == "SMP"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bcast", "--mode", "octo"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "torus-shaddr" in out
+        assert "allreduce-torus-current" in out
+        assert "allgather-ring-shaddr" in out
+
+    def test_bcast_verify(self, capsys):
+        code = main([
+            "bcast", "--size", "32K", "--algorithm", "torus-fifo",
+            "--dims", "2x1x1", "--verify",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "torus-fifo" in out
+        assert "verified" in out
+
+    def test_bcast_auto(self, capsys):
+        assert main(["bcast", "--size", "256", "--dims", "2x1x1"]) == 0
+        assert "tree-shmem" in capsys.readouterr().out
+
+    def test_bcast_profile(self, capsys):
+        code = main([
+            "bcast", "--size", "64K", "--algorithm", "torus-shaddr",
+            "--dims", "2x1x1", "--profile",
+        ])
+        assert code == 0
+        assert "utilization" in capsys.readouterr().out
+
+    def test_bcast_unknown_algorithm_errors(self, capsys):
+        assert main([
+            "bcast", "--algorithm", "nope", "--dims", "2x1x1",
+        ]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_allreduce(self, capsys):
+        code = main([
+            "allreduce", "--count", "4K", "--dims", "2x1x1", "--verify",
+        ])
+        assert code == 0
+        assert "allreduce-torus-shaddr" in capsys.readouterr().out
+
+    def test_allgather(self, capsys):
+        code = main([
+            "allgather", "--block", "4K", "--dims", "2x1x1", "--verify",
+        ])
+        assert code == 0
+        assert "allgather-ring-shaddr" in capsys.readouterr().out
+
+    def test_predict_torus(self, capsys):
+        assert main(["predict", "--algorithm", "torus-direct-put"]) == 0
+        out = capsys.readouterr().out
+        assert "bottleneck" in out and "DMA" in out
+
+    def test_predict_tree(self, capsys):
+        assert main(["predict", "--algorithm", "tree-shaddr"]) == 0
+        assert "tree wire" in capsys.readouterr().out
+
+    def test_predict_unknown_family(self, capsys):
+        assert main(["predict", "--algorithm", "ring-thing"]) == 2
+
+    def test_params_dump(self, capsys):
+        assert main(["params"]) == 0
+        out = capsys.readouterr().out
+        assert "torus_link_bw" in out
+        assert "dma_total_bw" in out
+
+    def test_smp_mode_run(self, capsys):
+        code = main([
+            "bcast", "--size", "64K", "--algorithm", "torus-direct-put-smp",
+            "--dims", "2x1x1", "--mode", "smp",
+        ])
+        assert code == 0

@@ -1,0 +1,148 @@
+"""Unit tests for torus transfer primitives (line broadcast, ptp sends)."""
+
+import pytest
+
+from repro.hardware import Machine, Mode
+
+
+def make(dims=(4, 1, 1), mode=Mode.SMP):
+    m = Machine(torus_dims=dims, mode=mode)
+    m.set_working_set(1024)
+    return m
+
+
+def drive(m, transfers_done):
+    procs = [m.spawn(g, name=f"t{i}") for i, g in enumerate(transfers_done)]
+    m.engine.run_until_processes_finish(procs)
+
+
+class TestLineBroadcast:
+    def test_delivery_order_and_latency(self):
+        m = make()
+        nbytes = 425 * 10  # 10 µs on the wire
+        lt = m.torus.line_broadcast(0, src=0, dim=0, sign=1, nbytes=nbytes)
+        times = {}
+
+        def waiter(node):
+            yield lt.delivered[node]
+            times[node] = m.engine.now
+
+        drive(m, [waiter(n) for n in lt.delivered])
+        hop = m.params.torus_hop_latency
+        assert times[1] == pytest.approx(10.0 + 1 * hop)
+        assert times[2] == pytest.approx(10.0 + 2 * hop)
+        assert times[3] == pytest.approx(10.0 + 3 * hop)
+
+    def test_negative_direction_reverses_order(self):
+        m = make()
+        lt = m.torus.line_broadcast(0, src=0, dim=0, sign=-1, nbytes=425)
+        receivers = list(lt.delivered)
+        assert receivers == [3, 2, 1]
+
+    def test_rate_limited_by_link_bandwidth(self):
+        m = make()
+        done = {}
+
+        def sender():
+            lt = m.torus.line_broadcast(
+                0, src=0, dim=0, sign=1, nbytes=42500
+            )
+            yield lt.done
+            done["t"] = m.engine.now
+
+        drive(m, [sender()])
+        assert done["t"] >= 100.0  # 42500 B at 425 B/µs
+
+    def test_same_color_same_line_contend(self):
+        m = make()
+        done = {}
+
+        def sender(i):
+            lt = m.torus.line_broadcast(
+                0, src=0, dim=0, sign=1, nbytes=4250, name=f"s{i}"
+            )
+            yield lt.done
+            done[i] = m.engine.now
+
+        drive(m, [sender(0), sender(1)])
+        # Two concurrent transfers share the 425 MB/s channel: both finish
+        # around 20 µs instead of 10.
+        assert min(done.values()) >= 19.0
+
+    def test_different_colors_do_not_contend(self):
+        m = make()
+        done = {}
+
+        def sender(color):
+            lt = m.torus.line_broadcast(
+                color, src=0, dim=0, sign=1, nbytes=4250
+            )
+            yield lt.done
+            done[color] = m.engine.now
+
+        drive(m, [sender(0), sender(1)])
+        # Edge-disjoint color routes: each rides its own channel.  The DMA
+        # budget is shared but far from binding here.
+        assert max(done.values()) < 15.0
+
+    def test_degenerate_line_completes_immediately(self):
+        m = make(dims=(1, 2, 2))
+        lt = m.torus.line_broadcast(0, src=0, dim=0, sign=1, nbytes=1000)
+        assert lt.done.triggered
+        assert lt.delivered == {}
+
+    def test_invalid_args(self):
+        m = make()
+        with pytest.raises(ValueError):
+            m.torus.line_broadcast(0, 0, dim=5, sign=1, nbytes=10)
+        with pytest.raises(ValueError):
+            m.torus.line_broadcast(0, 0, dim=0, sign=2, nbytes=10)
+
+
+class TestPtpSend:
+    def test_neighbor_delivery(self):
+        m = make()
+        done = {}
+
+        def sender():
+            ev = m.torus.ptp_send(0, src=0, dst=1, nbytes=4250)
+            yield ev
+            done["t"] = m.engine.now
+
+        drive(m, [sender()])
+        hop = m.params.torus_hop_latency
+        assert done["t"] == pytest.approx(10.0 + hop)
+
+    def test_multi_dim_route_accumulates_hops(self):
+        m = make(dims=(4, 4, 4))
+        src = m.torus.index((0, 0, 0))
+        dst = m.torus.index((2, 1, 3))  # 2 + 1 + 1(wrap) hops
+        done = {}
+
+        def sender():
+            ev = m.torus.ptp_send(0, src=src, dst=dst, nbytes=425)
+            yield ev
+            done["t"] = m.engine.now
+
+        drive(m, [sender()])
+        hop = m.params.torus_hop_latency
+        assert done["t"] == pytest.approx(1.0 + 4 * hop)
+
+    def test_self_send_is_free(self):
+        m = make()
+        ev = m.torus.ptp_send(0, src=2, dst=2, nbytes=100)
+        assert ev.triggered
+
+    def test_pipelined_ring_segments_do_not_contend(self):
+        """Concurrent neighbour sends along one line use distinct links."""
+        m = make(dims=(4, 1, 1))
+        done = {}
+
+        def sender(i):
+            ev = m.torus.ptp_send(0, src=i, dst=(i + 1) % 4, nbytes=4250)
+            yield ev
+            done[i] = m.engine.now
+
+        drive(m, [sender(i) for i in range(4)])
+        # All four sends proceed at full link rate (~10 µs + 1 hop), not 4x.
+        assert max(done.values()) < 12.0

@@ -1,0 +1,90 @@
+"""Tests for the point-to-point layer (eager/rendezvous ping-pong)."""
+
+import pytest
+
+from repro.hardware import Machine, Mode
+from repro.mpi.p2p import (
+    DEFAULT_EAGER_LIMIT,
+    run_pingpong,
+    select_protocol,
+)
+
+
+def machine(dims=(4, 1, 1), mode=Mode.QUAD):
+    return Machine(torus_dims=dims, mode=mode)
+
+
+class TestProtocolSelection:
+    def test_short_is_eager(self):
+        assert select_protocol(128) == "eager"
+
+    def test_long_is_rendezvous(self):
+        assert select_protocol(DEFAULT_EAGER_LIMIT) == "rendezvous"
+        assert select_protocol(1 << 20) == "rendezvous"
+
+
+class TestPingPong:
+    def test_auto_matches_policy(self):
+        m = machine()
+        short = run_pingpong(m, 256)
+        assert short.protocol == "eager"
+        long = run_pingpong(machine(), 64 * 1024)
+        assert long.protocol == "rendezvous"
+
+    def test_eager_wins_short_messages(self):
+        eager = run_pingpong(machine(), 256, protocol="eager")
+        rndv = run_pingpong(machine(), 256, protocol="rendezvous")
+        assert eager.latency_us < rndv.latency_us
+
+    def test_rendezvous_wins_large_messages(self):
+        eager = run_pingpong(machine(), 512 * 1024, protocol="eager")
+        rndv = run_pingpong(machine(), 512 * 1024, protocol="rendezvous")
+        assert rndv.latency_us < eager.latency_us
+
+    def test_latency_monotone_in_size(self):
+        lat = [
+            run_pingpong(machine(), n).latency_us
+            for n in (0, 1024, 64 * 1024, 512 * 1024)
+        ]
+        assert lat == sorted(lat)
+
+    def test_farther_partner_costs_more(self):
+        m = machine(dims=(8, 1, 1), mode=Mode.SMP)
+        near = run_pingpong(m, 1024, rank_a=0, rank_b=1)
+        m2 = machine(dims=(8, 1, 1), mode=Mode.SMP)
+        far = run_pingpong(m2, 1024, rank_a=0, rank_b=4)
+        assert far.latency_us > near.latency_us
+
+    def test_default_partner_is_farthest(self):
+        m = machine(dims=(8, 1, 1), mode=Mode.SMP)
+        result = run_pingpong(m, 1024)
+        # Should not raise and should pick rank 4 (4 hops away) — latency
+        # equals an explicit rank-4 ping-pong.
+        m2 = machine(dims=(8, 1, 1), mode=Mode.SMP)
+        explicit = run_pingpong(m2, 1024, rank_a=0, rank_b=4)
+        assert result.latency_us == pytest.approx(explicit.latency_us)
+
+    def test_intra_node_faster_than_inter_node(self):
+        m = machine(dims=(4, 1, 1), mode=Mode.QUAD)
+        intra = run_pingpong(m, 16 * 1024, rank_a=0, rank_b=1)
+        m2 = machine(dims=(4, 1, 1), mode=Mode.QUAD)
+        inter = run_pingpong(m2, 16 * 1024, rank_a=0, rank_b=8)
+        assert intra.latency_us < inter.latency_us
+
+    def test_bandwidth_property(self):
+        result = run_pingpong(machine(), 1 << 20)
+        assert result.bandwidth_mbs > 0
+        zero = run_pingpong(machine(), 0)
+        assert zero.bandwidth_mbs == 0.0
+
+    def test_same_rank_rejected(self):
+        with pytest.raises(ValueError):
+            run_pingpong(machine(), 1024, rank_a=0, rank_b=0)
+
+    def test_bad_protocol_rejected(self):
+        with pytest.raises(Exception):
+            run_pingpong(machine(), 1024, protocol="warp")
+
+    def test_str(self):
+        result = run_pingpong(machine(), 1024)
+        assert "pingpong" in str(result)

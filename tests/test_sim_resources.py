@@ -1,0 +1,313 @@
+"""Unit tests for Server, FairSharePipe, Store, SimBarrier, SimCounter."""
+
+import pytest
+
+from repro.sim import (
+    Engine,
+    FairSharePipe,
+    Server,
+    SimBarrier,
+    SimCounter,
+    SimulationError,
+    Store,
+)
+
+
+class TestServer:
+    def test_fcfs_ordering(self):
+        eng = Engine()
+        srv = Server(eng, capacity=1)
+        log = []
+
+        def user(i):
+            yield from srv.use(5.0)
+            log.append((i, eng.now))
+
+        for i in range(3):
+            eng.spawn(user(i))
+        eng.run()
+        assert log == [(0, 5.0), (1, 10.0), (2, 15.0)]
+
+    def test_capacity_two_overlaps(self):
+        eng = Engine()
+        srv = Server(eng, capacity=2)
+        log = []
+
+        def user(i):
+            yield from srv.use(5.0)
+            log.append((i, eng.now))
+
+        for i in range(4):
+            eng.spawn(user(i))
+        eng.run()
+        assert log == [(0, 5.0), (1, 5.0), (2, 10.0), (3, 10.0)]
+
+    def test_double_release_raises(self):
+        eng = Engine()
+        srv = Server(eng)
+
+        def p():
+            grant = yield srv.acquire()
+            srv.release(grant)
+            srv.release(grant)
+
+        eng.spawn(p())
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Server(Engine(), capacity=0)
+
+    def test_queue_length_visible(self):
+        eng = Engine()
+        srv = Server(eng, capacity=1)
+
+        def holder():
+            yield from srv.use(10.0)
+
+        def waiter():
+            yield from srv.use(1.0)
+
+        eng.spawn(holder())
+        eng.spawn(waiter())
+        eng.run(until=5.0)
+        assert srv.in_use == 1
+        assert srv.queue_length == 1
+
+
+class TestFairSharePipe:
+    def test_single_flow_respects_cap(self):
+        eng = Engine()
+        pipe = FairSharePipe(eng, total_rate=100.0, per_flow_cap=40.0)
+        done = []
+
+        def p():
+            yield pipe.transfer(400.0)
+            done.append(eng.now)
+
+        eng.spawn(p())
+        eng.run()
+        assert done == [pytest.approx(10.0)]
+
+    def test_two_flows_share_equally(self):
+        eng = Engine()
+        pipe = FairSharePipe(eng, total_rate=100.0)
+        done = {}
+
+        def p(name, nbytes):
+            yield pipe.transfer(nbytes)
+            done[name] = eng.now
+
+        eng.spawn(p("a", 5000.0))
+        eng.spawn(p("b", 5000.0))
+        eng.run()
+        # 50 each -> both done at 100
+        assert done["a"] == pytest.approx(100.0)
+        assert done["b"] == pytest.approx(100.0)
+
+    def test_departure_speeds_up_remaining(self):
+        eng = Engine()
+        pipe = FairSharePipe(eng, total_rate=100.0, per_flow_cap=80.0)
+        done = {}
+
+        def p(name, nbytes):
+            yield pipe.transfer(nbytes)
+            done[name] = eng.now
+
+        eng.spawn(p("short", 5000.0))
+        eng.spawn(p("long", 8000.0))
+        eng.run()
+        # Shared at 50/50 until t=100; long has 3000 left at cap 80.
+        assert done["short"] == pytest.approx(100.0)
+        assert done["long"] == pytest.approx(100.0 + 3000.0 / 80.0)
+
+    def test_zero_bytes_completes_now(self):
+        eng = Engine()
+        pipe = FairSharePipe(eng, total_rate=10.0)
+        done = []
+
+        def p():
+            yield pipe.transfer(0)
+            done.append(eng.now)
+
+        eng.spawn(p())
+        eng.run()
+        assert done == [0.0]
+
+    def test_bytes_transferred_accounting(self):
+        eng = Engine()
+        pipe = FairSharePipe(eng, total_rate=10.0)
+
+        def p():
+            yield pipe.transfer(30.0)
+            yield pipe.transfer(20.0)
+
+        eng.spawn(p())
+        eng.run()
+        assert pipe.bytes_transferred == pytest.approx(50.0)
+
+
+class TestStore:
+    def test_fifo_order(self):
+        eng = Engine()
+        store = Store(eng)
+        got = []
+
+        def producer():
+            for i in range(3):
+                yield eng.timeout(1.0)
+                yield store.put(i)
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                got.append((item, eng.now))
+
+        eng.spawn(consumer())
+        eng.spawn(producer())
+        eng.run()
+        assert got == [(0, 1.0), (1, 2.0), (2, 3.0)]
+
+    def test_bounded_put_blocks(self):
+        eng = Engine()
+        store = Store(eng, capacity=1)
+        log = []
+
+        def producer():
+            yield store.put("a")
+            log.append(("put-a", eng.now))
+            yield store.put("b")
+            log.append(("put-b", eng.now))
+
+        def consumer():
+            yield eng.timeout(5.0)
+            item = yield store.get()
+            log.append((item, eng.now))
+
+        eng.spawn(producer())
+        eng.spawn(consumer())
+        eng.run()
+        assert ("put-a", 0.0) in log
+        assert ("put-b", 5.0) in log
+
+    def test_get_before_put_hands_off_directly(self):
+        eng = Engine()
+        store = Store(eng)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((item, eng.now))
+
+        def producer():
+            yield eng.timeout(2.0)
+            yield store.put("x")
+
+        eng.spawn(consumer())
+        eng.spawn(producer())
+        eng.run()
+        assert got == [("x", 2.0)]
+
+
+class TestSimBarrier:
+    def test_releases_all_at_last_arrival(self):
+        eng = Engine()
+        barrier = SimBarrier(eng, 3)
+        log = []
+
+        def p(i):
+            yield eng.timeout(float(i))
+            yield barrier.wait()
+            log.append((i, eng.now))
+
+        for i in range(3):
+            eng.spawn(p(i))
+        eng.run()
+        assert log == [(0, 2.0), (1, 2.0), (2, 2.0)]
+
+    def test_latency_applied(self):
+        eng = Engine()
+        barrier = SimBarrier(eng, 2, latency=1.3)
+        log = []
+
+        def p():
+            yield barrier.wait()
+            log.append(eng.now)
+
+        eng.spawn(p())
+        eng.spawn(p())
+        eng.run()
+        assert log == [1.3, 1.3]
+
+    def test_cyclic_reuse(self):
+        eng = Engine()
+        barrier = SimBarrier(eng, 2)
+        log = []
+
+        def p(i):
+            for _round in range(3):
+                yield eng.timeout(1.0 * (i + 1))
+                yield barrier.wait()
+            log.append((i, eng.now))
+
+        eng.spawn(p(0))
+        eng.spawn(p(1))
+        eng.run()
+        assert barrier.generation == 3
+        assert log == [(0, 6.0), (1, 6.0)]
+
+
+class TestSimCounter:
+    def test_wait_threshold(self):
+        eng = Engine()
+        counter = SimCounter(eng)
+        log = []
+
+        def waiter():
+            value = yield counter.wait_for(10)
+            log.append((value, eng.now))
+
+        def adder():
+            for _ in range(4):
+                yield eng.timeout(1.0)
+                counter.add(3)
+
+        eng.spawn(waiter())
+        eng.spawn(adder())
+        eng.run()
+        assert log == [(12, 4.0)]
+
+    def test_immediate_when_already_met(self):
+        eng = Engine()
+        counter = SimCounter(eng, value=5)
+        log = []
+
+        def p():
+            value = yield counter.wait_for(5)
+            log.append(value)
+
+        eng.spawn(p())
+        eng.run()
+        assert log == [5]
+
+    def test_decrease_rejected(self):
+        eng = Engine()
+        counter = SimCounter(eng)
+        with pytest.raises(ValueError):
+            counter.add(-1)
+
+    def test_set_at_least(self):
+        eng = Engine()
+        counter = SimCounter(eng, value=5)
+        counter.set_at_least(3)
+        assert counter.value == 5
+        counter.set_at_least(9)
+        assert counter.value == 9
+
+    def test_reset_guard(self):
+        eng = Engine()
+        counter = SimCounter(eng)
+        counter.wait_for(10)
+        with pytest.raises(RuntimeError):
+            counter.reset()

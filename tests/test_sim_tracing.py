@@ -1,0 +1,64 @@
+"""Tests for Chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.bench import run_bcast
+from repro.hardware import Machine, Mode
+from repro.sim import Engine
+from repro.sim.tracing import chrome_trace, collect_flow_events, write_chrome_trace
+
+
+def traced_run():
+    engine = Engine(trace=True)
+    machine = Machine(torus_dims=(2, 1, 1), mode=Mode.QUAD, engine=engine)
+    run_bcast(machine, "torus-shaddr", nbytes=64 * 1024)
+    return engine
+
+
+class TestChromeTrace:
+    def test_flow_events_paired(self):
+        engine = traced_run()
+        events = collect_flow_events(engine)
+        assert events, "expected at least one flow duration event"
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["dur"] > 0
+            assert event["ts"] >= 0
+
+    def test_document_structure(self):
+        engine = traced_run()
+        doc = chrome_trace(engine)
+        assert "traceEvents" in doc
+        names = [
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e.get("ph") == "M"
+        ]
+        assert "network transfers" in names
+        assert "core copies / staging" in names
+
+    def test_rows_cover_expected_classes(self):
+        engine = traced_run()
+        events = collect_flow_events(engine)
+        rows = {e["tid"] for e in events}
+        # A shared-address broadcast produces network transfers and core
+        # copies at minimum.
+        assert 3 in rows
+        assert 5 in rows
+
+    def test_write_roundtrip(self, tmp_path):
+        engine = traced_run()
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(engine, str(path))
+        assert count > 0
+        loaded = json.loads(path.read_text())
+        durations = [e for e in loaded["traceEvents"] if e.get("ph") == "X"]
+        assert len(durations) == count
+
+    def test_untraced_engine_yields_empty(self):
+        engine = Engine()  # tracing off
+        machine = Machine(torus_dims=(2, 1, 1), mode=Mode.QUAD, engine=engine)
+        run_bcast(machine, "torus-shaddr", nbytes=1024)
+        assert collect_flow_events(engine) == []

@@ -1,0 +1,245 @@
+"""Unit, threaded, and property tests for the real PtP and Bcast FIFOs."""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures import BcastFifo, PtPFifo
+
+
+class TestPtPFifoBasics:
+    def test_single_enqueue_dequeue(self):
+        f = PtPFifo(slots=4, slot_bytes=16)
+        f.enqueue(b"hello", meta=1)
+        payload, meta = f.dequeue()
+        assert payload == b"hello"
+        assert meta == 1
+
+    def test_fifo_order(self):
+        f = PtPFifo(slots=4, slot_bytes=16)
+        for i in range(4):
+            f.enqueue(bytes([i]))
+        assert [f.dequeue()[0] for _ in range(4)] == [
+            b"\x00", b"\x01", b"\x02", b"\x03"
+        ]
+
+    def test_wraparound(self):
+        f = PtPFifo(slots=2, slot_bytes=8)
+        for i in range(10):
+            f.enqueue(bytes([i]))
+            assert f.dequeue()[0] == bytes([i])
+
+    def test_oversized_payload_rejected(self):
+        f = PtPFifo(slots=2, slot_bytes=4)
+        with pytest.raises(ValueError):
+            f.enqueue(b"too long!")
+
+    def test_full_timeout(self):
+        f = PtPFifo(slots=1, slot_bytes=4)
+        f.enqueue(b"x")
+        with pytest.raises(TimeoutError):
+            f.enqueue(b"y", timeout=0.05)
+
+    def test_empty_timeout(self):
+        f = PtPFifo(slots=1, slot_bytes=4)
+        with pytest.raises(TimeoutError):
+            f.dequeue(timeout=0.05)
+
+    def test_numpy_payload(self):
+        f = PtPFifo(slots=2, slot_bytes=64)
+        data = np.arange(16, dtype=np.uint8)
+        f.enqueue(data)
+        payload, _ = f.dequeue()
+        assert payload == data.tobytes()
+
+    def test_len(self):
+        f = PtPFifo(slots=4, slot_bytes=4)
+        assert len(f) == 0
+        f.enqueue(b"a")
+        f.enqueue(b"b")
+        assert len(f) == 2
+        f.dequeue()
+        assert len(f) == 1
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            PtPFifo(slots=0, slot_bytes=1)
+        with pytest.raises(ValueError):
+            PtPFifo(slots=1, slot_bytes=0)
+
+
+class TestPtPFifoThreaded:
+    def test_mpmc_no_loss_no_duplication(self):
+        f = PtPFifo(slots=8, slot_bytes=16)
+        nproducers, nconsumers, per = 4, 3, 60
+        total = nproducers * per
+        out, lock = [], threading.Lock()
+
+        def producer(base):
+            for k in range(per):
+                f.enqueue(b"p", meta=base + k, timeout=10)
+
+        def consumer(count):
+            for _ in range(count):
+                _, meta = f.dequeue(timeout=10)
+                with lock:
+                    out.append(meta)
+
+        counts = [total // nconsumers] * nconsumers
+        counts[0] += total - sum(counts)
+        threads = [
+            threading.Thread(target=producer, args=(i * 1000,))
+            for i in range(nproducers)
+        ] + [threading.Thread(target=consumer, args=(c,)) for c in counts]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        expected = sorted(i * 1000 + k for i in range(nproducers)
+                          for k in range(per))
+        assert sorted(out) == expected
+
+    def test_single_producer_order_preserved(self):
+        f = PtPFifo(slots=4, slot_bytes=8)
+        got = []
+
+        def consumer():
+            for _ in range(100):
+                got.append(f.dequeue(timeout=10)[1])
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        for i in range(100):
+            f.enqueue(b"x", meta=i, timeout=10)
+        t.join()
+        assert got == list(range(100))
+
+
+class TestBcastFifoBasics:
+    def test_every_consumer_sees_every_element(self):
+        f = BcastFifo(slots=4, slot_bytes=8, consumers=3)
+        cursors = [f.consumer() for _ in range(3)]
+        f.enqueue(b"a", meta=0)
+        f.enqueue(b"b", meta=1)
+        for c in cursors:
+            assert c.read(timeout=1) == (b"a", 0)
+            assert c.read(timeout=1) == (b"b", 1)
+
+    def test_slot_not_reused_until_all_read(self):
+        f = BcastFifo(slots=1, slot_bytes=4, consumers=2)
+        c1, c2 = f.consumer(), f.consumer()
+        f.enqueue(b"x")
+        c1.read(timeout=1)
+        # c2 has not read yet: the producer must block.
+        with pytest.raises(TimeoutError):
+            f.enqueue(b"y", timeout=0.05)
+        c2.read(timeout=1)
+        f.enqueue(b"y", timeout=1)  # now it fits
+
+    def test_metadata_multiplexing(self):
+        # The paper multiplexes six connections through one FIFO using
+        # (bytes, connection id) metadata.
+        f = BcastFifo(slots=8, slot_bytes=16, consumers=1)
+        c = f.consumer()
+        for conn in range(6):
+            f.enqueue(bytes([conn]) * 4, meta=("conn", conn, 4))
+        for conn in range(6):
+            payload, meta = c.read(timeout=1)
+            assert meta == ("conn", conn, 4)
+            assert payload == bytes([conn]) * 4
+
+    def test_len_counts_unretired(self):
+        f = BcastFifo(slots=4, slot_bytes=4, consumers=2)
+        c1, c2 = f.consumer(), f.consumer()
+        f.enqueue(b"a")
+        assert len(f) == 1
+        c1.read(timeout=1)
+        assert len(f) == 1  # still unretired
+        c2.read(timeout=1)
+        assert len(f) == 0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            BcastFifo(slots=1, slot_bytes=1, consumers=0)
+
+
+class TestBcastFifoThreaded:
+    @pytest.mark.parametrize("slots,nmsgs", [(2, 40), (8, 100)])
+    def test_all_consumers_receive_in_order(self, slots, nmsgs):
+        f = BcastFifo(slots=slots, slot_bytes=32, consumers=4)
+        results = [[] for _ in range(4)]
+
+        def consume(i):
+            cursor = f.consumer()
+            for _ in range(nmsgs):
+                payload, meta = cursor.read(timeout=10)
+                results[i].append((payload, meta))
+
+        threads = [
+            threading.Thread(target=consume, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for k in range(nmsgs):
+            f.enqueue(bytes([k % 251]) * (k % 31 + 1), meta=k, timeout=10)
+        for t in threads:
+            t.join()
+        expected = [
+            (bytes([k % 251]) * (k % 31 + 1), k) for k in range(nmsgs)
+        ]
+        for i in range(4):
+            assert results[i] == expected
+
+
+class TestFifoProperties:
+    @given(
+        payloads=st.lists(
+            st.binary(min_size=1, max_size=16), min_size=1, max_size=40
+        ),
+        slots=st.integers(1, 8),
+        consumers=st.integers(1, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bcast_fifo_delivers_everything_in_order(
+        self, payloads, slots, consumers
+    ):
+        """Sequential (single-thread) model check over arbitrary content."""
+        f = BcastFifo(slots=slots, slot_bytes=16, consumers=consumers)
+        cursors = [f.consumer() for _ in range(consumers)]
+        remaining = list(enumerate(payloads))
+        # Interleave: fill up to capacity, then drain one from each cursor.
+        produced = consumed = 0
+        reads = [[] for _ in range(consumers)]
+        while consumed < len(payloads):
+            while produced < len(payloads) and len(f) < slots:
+                idx, data = remaining[produced]
+                f.enqueue(data, meta=idx, timeout=1)
+                produced += 1
+            for i, c in enumerate(cursors):
+                reads[i].append(c.read(timeout=1))
+            consumed += 1
+        for i in range(consumers):
+            assert [m for _, m in reads[i]] == list(range(len(payloads)))
+            assert [p for p, _ in reads[i]] == payloads
+
+    @given(
+        payloads=st.lists(
+            st.binary(min_size=0, max_size=8), min_size=1, max_size=50
+        ),
+        slots=st.integers(1, 6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_ptp_fifo_preserves_order_single_consumer(self, payloads, slots):
+        f = PtPFifo(slots=slots, slot_bytes=8)
+        out = []
+        i = 0
+        while i < len(payloads) or len(f) > 0:
+            while i < len(payloads) and len(f) < slots:
+                f.enqueue(payloads[i], meta=i, timeout=1)
+                i += 1
+            out.append(f.dequeue(timeout=1))
+        assert [p for p, _ in out] == payloads
+        assert [m for _, m in out] == list(range(len(payloads)))

@@ -1,0 +1,151 @@
+"""Unit, threaded, and property tests for MessageCounter/CompletionCounter."""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures import CompletionCounter, MessageCounter
+
+
+def make_counter(size=256):
+    return MessageCounter(np.zeros(size, dtype=np.uint8))
+
+
+class TestMessageCounterBasics:
+    def test_initial_watermark_zero(self):
+        assert make_counter().arrived == 0
+
+    def test_append_advances_watermark(self):
+        mc = make_counter()
+        assert mc.append(b"abc") == 3
+        assert mc.arrived == 3
+        assert bytes(mc.buffer[:3]) == b"abc"
+
+    def test_append_after_watermark(self):
+        mc = make_counter()
+        mc.append(b"ab")
+        mc.append(b"cd")
+        assert bytes(mc.buffer[:4]) == b"abcd"
+
+    def test_overflow_rejected(self):
+        mc = make_counter(4)
+        mc.append(b"abc")
+        with pytest.raises(ValueError):
+            mc.append(b"de")
+
+    def test_wait_for_already_met(self):
+        mc = make_counter()
+        mc.append(b"abcd")
+        assert mc.wait_for(2) == 4
+
+    def test_wait_for_timeout(self):
+        mc = make_counter()
+        with pytest.raises(TimeoutError):
+            mc.wait_for(1, timeout=0.05)
+
+    def test_wait_threshold_beyond_buffer_rejected(self):
+        mc = make_counter(4)
+        with pytest.raises(ValueError):
+            mc.wait_for(5)
+
+    def test_reset(self):
+        mc = make_counter()
+        mc.append(b"xy")
+        mc.reset()
+        assert mc.arrived == 0
+
+    def test_requires_uint8_1d(self):
+        with pytest.raises(ValueError):
+            MessageCounter(np.zeros(4, dtype=np.float64))
+        with pytest.raises(ValueError):
+            MessageCounter(np.zeros((2, 2), dtype=np.uint8))
+
+    def test_numpy_append(self):
+        mc = make_counter()
+        mc.append(np.arange(4, dtype=np.uint8))
+        assert bytes(mc.buffer[:4]) == bytes([0, 1, 2, 3])
+
+
+class TestMessageCounterThreaded:
+    def test_pipelined_consumers_see_full_stream(self):
+        data = bytes(range(256)) * 8  # 2048 bytes
+        mc = MessageCounter(np.zeros(len(data), dtype=np.uint8))
+        cc = CompletionCounter(3)
+        errors = []
+
+        def reader():
+            try:
+                local = 0
+                acc = bytearray()
+                while local < len(data):
+                    watermark = mc.wait_for(local + 1, timeout=10)
+                    acc += bytes(mc.buffer[local:watermark])
+                    local = watermark
+                assert bytes(acc) == data
+                cc.signal()
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for off in range(0, len(data), 64):
+            mc.append(data[off:off + 64])
+        cc.wait(timeout=10)
+        for t in threads:
+            t.join()
+        assert not errors
+
+
+class TestCompletionCounter:
+    def test_wait_after_all_signals(self):
+        cc = CompletionCounter(2)
+        cc.signal()
+        cc.signal()
+        cc.wait(timeout=1)
+        assert cc.count == 2
+
+    def test_zero_expected_returns_immediately(self):
+        CompletionCounter(0).wait(timeout=0.1)
+
+    def test_over_signal_rejected(self):
+        cc = CompletionCounter(1)
+        cc.signal()
+        with pytest.raises(RuntimeError):
+            cc.signal()
+
+    def test_timeout(self):
+        cc = CompletionCounter(1)
+        with pytest.raises(TimeoutError):
+            cc.wait(timeout=0.05)
+
+    def test_negative_expected_rejected(self):
+        with pytest.raises(ValueError):
+            CompletionCounter(-1)
+
+
+class TestMessageCounterProperties:
+    @given(
+        chunks=st.lists(st.binary(min_size=0, max_size=32), max_size=20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_watermark_equals_total_and_content_matches(self, chunks):
+        total = sum(len(c) for c in chunks)
+        mc = MessageCounter(np.zeros(max(total, 1), dtype=np.uint8))
+        for c in chunks:
+            mc.append(c)
+        assert mc.arrived == total
+        assert bytes(mc.buffer[:total]) == b"".join(chunks)
+
+    @given(st.lists(st.integers(1, 16), min_size=1, max_size=16))
+    @settings(max_examples=30, deadline=None)
+    def test_watermark_monotone(self, sizes):
+        mc = MessageCounter(np.zeros(sum(sizes), dtype=np.uint8))
+        last = 0
+        for s in sizes:
+            new = mc.append(b"\x01" * s)
+            assert new == last + s
+            last = new

@@ -1,0 +1,99 @@
+"""Unit tests for repro.util.stats and repro.util.validation."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import RunningStats, summarize
+from repro.util.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_power_of_two,
+    check_type,
+)
+
+
+class TestRunningStats:
+    def test_empty(self):
+        s = RunningStats()
+        assert s.count == 0
+        assert s.variance == 0.0
+
+    def test_single(self):
+        s = summarize([4.0])
+        assert s.mean == 4.0
+        assert s.stddev == 0.0
+        assert s.minimum == s.maximum == 4.0
+
+    def test_known_values(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.mean == pytest.approx(2.5)
+        assert s.variance == pytest.approx(5.0 / 3.0)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+
+    def test_merge_matches_combined(self):
+        a = summarize([1.0, 5.0, 2.0])
+        b = summarize([7.0, 3.0])
+        merged = a.merge(b)
+        combined = summarize([1.0, 5.0, 2.0, 7.0, 3.0])
+        assert merged.count == combined.count
+        assert merged.mean == pytest.approx(combined.mean)
+        assert merged.variance == pytest.approx(combined.variance)
+        assert merged.minimum == combined.minimum
+        assert merged.maximum == combined.maximum
+
+    def test_merge_with_empty(self):
+        a = summarize([1.0, 2.0])
+        assert a.merge(RunningStats()) is a
+        assert RunningStats().merge(a) is a
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=50))
+    def test_mean_matches_numpy_style(self, xs):
+        s = summarize(xs)
+        assert s.mean == pytest.approx(sum(xs) / len(xs), rel=1e-9, abs=1e-9)
+        assert s.minimum == min(xs)
+        assert s.maximum == max(xs)
+
+    @given(
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=30),
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=30),
+    )
+    def test_merge_is_order_insensitive(self, xs, ys):
+        m1 = summarize(xs).merge(summarize(ys))
+        m2 = summarize(ys).merge(summarize(xs))
+        assert m1.mean == pytest.approx(m2.mean, rel=1e-9, abs=1e-9)
+        assert m1.count == m2.count
+
+
+class TestValidation:
+    def test_check_positive(self):
+        check_positive("x", 1)
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+
+    def test_check_non_negative(self):
+        check_non_negative("x", 0)
+        with pytest.raises(ValueError):
+            check_non_negative("x", -1)
+
+    def test_check_in_range(self):
+        check_in_range("x", 5, 0, 10)
+        with pytest.raises(ValueError):
+            check_in_range("x", 11, 0, 10)
+
+    def test_check_type(self):
+        check_type("x", 5, int)
+        check_type("x", 5, (int, float))
+        with pytest.raises(TypeError):
+            check_type("x", "s", int)
+
+    def test_check_power_of_two(self):
+        check_power_of_two("x", 1)
+        check_power_of_two("x", 64)
+        for bad in (0, -2, 3, 48):
+            with pytest.raises(ValueError):
+                check_power_of_two("x", bad)

@@ -1,0 +1,91 @@
+"""Unit tests for repro.util.units."""
+
+import pytest
+
+from repro.util.units import (
+    KIB,
+    MIB,
+    bandwidth_mbs,
+    format_bytes,
+    format_time_us,
+    parse_size,
+)
+
+
+class TestParseSize:
+    def test_plain_int(self):
+        assert parse_size(512) == 512
+
+    def test_zero(self):
+        assert parse_size(0) == 0
+
+    def test_kilobytes(self):
+        assert parse_size("128K") == 128 * KIB
+
+    def test_megabytes(self):
+        assert parse_size("2M") == 2 * MIB
+
+    def test_suffix_variants(self):
+        assert parse_size("4KB") == parse_size("4KiB") == parse_size("4k")
+
+    def test_bytes_suffix(self):
+        assert parse_size("37B") == 37
+
+    def test_fractional(self):
+        assert parse_size("1.5K") == 1536
+
+    def test_fractional_non_integral_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size("1.0001K")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size(-1)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size("12Q")
+
+    def test_roundtrip_with_format(self):
+        for text in ["1K", "8K", "128K", "1M", "2M", "4M", "1G"]:
+            assert format_bytes(parse_size(text)) == text
+
+
+class TestFormatBytes:
+    def test_small(self):
+        assert format_bytes(768) == "768"
+
+    def test_exact_kib(self):
+        assert format_bytes(131072) == "128K"
+
+    def test_non_multiple_stays_raw(self):
+        assert format_bytes(1500) == "1500"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+
+class TestFormatTime:
+    def test_microseconds(self):
+        assert format_time_us(5.831) == "5.83us"
+
+    def test_milliseconds(self):
+        assert format_time_us(1208.6) == "1.209ms"
+
+    def test_seconds(self):
+        assert format_time_us(2.5e6) == "2.5000s"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_time_us(-0.1)
+
+
+class TestBandwidth:
+    def test_mb_per_second_units(self):
+        # 1e6 bytes in 1e3 us -> 1000 MB/s
+        assert bandwidth_mbs(1_000_000, 1000.0) == pytest.approx(1000.0)
+
+    def test_zero_time_rejected(self):
+        with pytest.raises(ValueError):
+            bandwidth_mbs(1, 0.0)
