@@ -4,10 +4,22 @@ from repro.bench.harness import run_allgather, run_allreduce, run_bcast
 from repro.bench.profile import UtilizationReport, format_report, utilization_report
 from repro.bench.report import Series, format_table, speedup
 
+
+def __getattr__(name):
+    # Lazy so `python -m repro.bench.perfsuite` doesn't import the module
+    # twice (runpy warns when the target is already in sys.modules).
+    if name in ("run_suite", "speedup_table"):
+        from repro.bench import perfsuite
+
+        return getattr(perfsuite, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "run_bcast",
     "run_allreduce",
     "run_allgather",
+    "run_suite",
+    "speedup_table",
     "Series",
     "format_table",
     "speedup",

@@ -18,6 +18,25 @@ iterations, just like the pseudo-code.
 Window services (shared-address mapping caches) persist across iterations,
 so with caching enabled only the first iteration pays mapping system calls
 — the behaviour Figure 8's "caching" series measures.
+
+Steady-state short-circuit
+--------------------------
+
+The simulation is deterministic, so once the transient (window mapping
+on iteration 0, cache warm-up) has passed, every remaining iteration
+produces *bit-identical* per-rank times.  ``_measure`` detects this — two
+consecutive iterations with exactly equal per-rank time vectors — stops
+simulating, and fills the remaining rows with copies of the steady
+iteration.  The returned matrix is bit-identical to simulating all
+``ITERS`` iterations, at a fraction of the wall-clock cost.
+
+The detection is exact equality, so it is inherently safe under injected
+jitter or mid-run degradation: perturbed iterations never compare equal
+and the full loop runs.  It is *not* safe when the caller mutates the
+machine from outside between iterations in a way that happens to first
+bite on a later iteration; pass ``steady_state=False`` (the opt-out on
+every ``run_*``) in that case.  ``verify=True`` also disables it by
+default so the payload actually travels through every iteration.
 """
 
 from __future__ import annotations
@@ -46,15 +65,29 @@ def _measure(
     make_invocation: Callable[[int], object],
     iters: int,
     verify: bool,
+    steady_state: Optional[bool] = None,
 ) -> List[List[float]]:
-    """Run the Fig-5 loop; returns per-iteration, per-rank elapsed times."""
+    """Run the Fig-5 loop; returns per-iteration, per-rank elapsed times.
+
+    With ``steady_state`` the loop stops as soon as two consecutive
+    iterations produce exactly equal per-rank time vectors and the
+    remaining rows are filled with copies of the steady iteration (see
+    module docstring); the returned matrix is bit-identical either way.
+    ``None`` (the default) enables it exactly when ``verify`` is off.
+    """
+    if steady_state is None:
+        steady_state = not verify
     engine = machine.engine
     barrier = machine.make_barrier()
     invocations: Dict[int, object] = {}
     windows_by_rank: Dict[int, ProcessWindows] = {}
-    times: List[List[float]] = [
-        [0.0] * machine.nprocs for _ in range(iters)
-    ]
+    nprocs = machine.nprocs
+    times: List[List[float]] = [[0.0] * nprocs for _ in range(iters)]
+    # Shared steady-state detector: ``left`` counts ranks yet to finish
+    # the current iteration; the last finisher compares the completed row
+    # against the previous one and arms ``stop_after``.  ``rebased`` is
+    # the iteration whose clock rebase has already run.
+    state = {"left": nprocs, "stop_after": None, "rebased": -1}
 
     def get_invocation(iteration: int):
         inv = invocations.get(iteration)
@@ -71,16 +104,44 @@ def _measure(
     def rank_loop(rank: int):
         for iteration in range(iters):
             yield barrier.wait()
+            # The last rank of iteration k decrements ``left`` *before*
+            # arriving at this barrier, so when the barrier releases, all
+            # ranks agree on whether steady state was just detected and
+            # break together (every rank consumes the same barrier count).
+            if state["stop_after"] is not None:
+                break
+            # First rank out of the barrier resets the clock origin, so
+            # every iteration starts at exactly t=0 and warm iterations
+            # repeat the exact same float arithmetic (bit-identical
+            # rows — which is also what makes the steady-state detection
+            # below sound rather than merely likely).
+            if state["rebased"] != iteration:
+                state["rebased"] = iteration
+                machine.rebase_time()
             inv = get_invocation(iteration)
             start = engine.now
             yield from inv.proc(rank)
             times[iteration][rank] = engine.now - start
+            state["left"] -= 1
+            if state["left"] == 0:
+                state["left"] = nprocs
+                if (
+                    steady_state
+                    and iteration >= 1
+                    and times[iteration] == times[iteration - 1]
+                ):
+                    state["stop_after"] = iteration
 
     procs = [
         machine.spawn(rank_loop(rank), name=f"mpi.r{rank}")
-        for rank in range(machine.nprocs)
+        for rank in range(nprocs)
     ]
     engine.run_until_processes_finish(procs)
+    stop_after = state["stop_after"]
+    if stop_after is not None:
+        steady = times[stop_after]
+        for iteration in range(stop_after + 1, iters):
+            times[iteration] = list(steady)
     if verify:
         for inv in invocations.values():
             inv.verify()
@@ -96,6 +157,7 @@ def run_bcast(
     verify: bool = False,
     window_caching: bool = True,
     seed: int = 1234,
+    steady_state: Optional[bool] = None,
 ) -> CollectiveResult:
     """Measure ``MPI_Bcast`` with the given algorithm on ``machine``.
 
@@ -119,7 +181,7 @@ def run_bcast(
             window_caching=window_caching,
         )
 
-    times = _measure(machine, make_invocation, iters, verify)
+    times = _measure(machine, make_invocation, iters, verify, steady_state)
     per_iter = [max(row) for row in times]
     return CollectiveResult(
         algorithm=cls.name,
@@ -139,6 +201,7 @@ def run_allreduce(
     verify: bool = False,
     window_caching: bool = True,
     seed: int = 1234,
+    steady_state: Optional[bool] = None,
 ) -> CollectiveResult:
     """Measure ``MPI_Allreduce`` (sum of ``count`` doubles) on ``machine``."""
     cls = (
@@ -164,7 +227,7 @@ def run_allreduce(
             window_caching=window_caching,
         )
 
-    times = _measure(machine, make_invocation, iters, verify)
+    times = _measure(machine, make_invocation, iters, verify, steady_state)
     per_iter = [max(row) for row in times]
     return CollectiveResult(
         algorithm=cls.name,
@@ -183,6 +246,7 @@ def run_allgather(
     verify: bool = False,
     window_caching: bool = True,
     seed: int = 1234,
+    steady_state: Optional[bool] = None,
 ) -> CollectiveResult:
     """Measure an ``MPI_Allgather`` with per-rank blocks of ``block_bytes``."""
     cls = (
@@ -208,7 +272,7 @@ def run_allgather(
             window_caching=window_caching,
         )
 
-    times = _measure(machine, make_invocation, iters, verify)
+    times = _measure(machine, make_invocation, iters, verify, steady_state)
     per_iter = [max(row) for row in times]
     return CollectiveResult(
         algorithm=cls.name,
@@ -227,6 +291,7 @@ def run_alltoall(
     verify: bool = False,
     window_caching: bool = True,
     seed: int = 1234,
+    steady_state: Optional[bool] = None,
 ) -> CollectiveResult:
     """Measure an ``MPI_Alltoall`` with per-pair blocks of ``block_bytes``."""
     cls = (
@@ -252,7 +317,7 @@ def run_alltoall(
             window_caching=window_caching,
         )
 
-    times = _measure(machine, make_invocation, iters, verify)
+    times = _measure(machine, make_invocation, iters, verify, steady_state)
     per_iter = [max(row) for row in times]
     return CollectiveResult(
         algorithm=cls.name,
@@ -267,6 +332,7 @@ def run_barrier(
     machine: Machine,
     algorithm: Union[str, type] = "barrier-gi",
     iters: int = 1,
+    steady_state: Optional[bool] = None,
 ) -> CollectiveResult:
     """Measure an ``MPI_Barrier`` (latency in µs; bandwidth is meaningless)."""
     cls = (
@@ -278,7 +344,8 @@ def run_barrier(
     def make_invocation(_iteration: int):
         return cls(machine)
 
-    times = _measure(machine, make_invocation, iters, verify=False)
+    times = _measure(machine, make_invocation, iters, verify=False,
+                     steady_state=steady_state)
     per_iter = [max(row) for row in times]
     return CollectiveResult(
         algorithm=cls.name,
@@ -297,6 +364,7 @@ def run_scatter(
     verify: bool = False,
     window_caching: bool = True,
     seed: int = 1234,
+    steady_state: Optional[bool] = None,
 ) -> CollectiveResult:
     """Measure an ``MPI_Scatter`` (root 0) with per-rank blocks."""
     cls = (
@@ -319,7 +387,7 @@ def run_scatter(
             window_caching=window_caching,
         )
 
-    times = _measure(machine, make_invocation, iters, verify)
+    times = _measure(machine, make_invocation, iters, verify, steady_state)
     per_iter = [max(row) for row in times]
     return CollectiveResult(
         algorithm=cls.name,
@@ -338,6 +406,7 @@ def run_reduce(
     verify: bool = False,
     window_caching: bool = True,
     seed: int = 1234,
+    steady_state: Optional[bool] = None,
 ) -> CollectiveResult:
     """Measure an ``MPI_Reduce`` (sum of ``count`` doubles to rank 0)."""
     cls = (
@@ -359,7 +428,7 @@ def run_reduce(
             machine, count, values=values, window_caching=window_caching
         )
 
-    times = _measure(machine, make_invocation, iters, verify)
+    times = _measure(machine, make_invocation, iters, verify, steady_state)
     per_iter = [max(row) for row in times]
     return CollectiveResult(
         algorithm=cls.name,
@@ -378,6 +447,7 @@ def run_gather(
     verify: bool = False,
     window_caching: bool = True,
     seed: int = 1234,
+    steady_state: Optional[bool] = None,
 ) -> CollectiveResult:
     """Measure an ``MPI_Gather`` (root = rank 0) with per-rank blocks."""
     cls = (
@@ -402,7 +472,7 @@ def run_gather(
             window_caching=window_caching,
         )
 
-    times = _measure(machine, make_invocation, iters, verify)
+    times = _measure(machine, make_invocation, iters, verify, steady_state)
     per_iter = [max(row) for row in times]
     return CollectiveResult(
         algorithm=cls.name,

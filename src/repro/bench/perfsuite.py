@@ -1,0 +1,229 @@
+"""Self-timing performance suite for the simulator core.
+
+The repo's figures are produced by sweeping message sizes through the
+Fig-5 harness; every sweep point is dominated by the DES engine's event
+loop and the flow network's max-min re-solves.  This module times three
+representative sweeps —
+
+* ``tree_bcast``  — shared-address tree broadcast on a 512-node machine
+  (deep collective-network pipelines, many small node-local components);
+* ``torus_bcast`` — shared-address torus broadcast on a 4x4x4 machine
+  (machine-spanning flow components, the solver's worst case);
+* ``torus_allreduce`` — the reduce-scatter/allgather torus allreduce
+  (long dependency chains through memory ports);
+
+— and records wall-clock seconds plus the simulated results in
+``BENCH_core.json``, establishing the repo's performance trajectory.
+Entries are keyed by label (``baseline``, ``current``, ...), so a run
+before and after an optimisation gives an honest speedup figure *and* a
+semantic regression check: the simulated microseconds of two entries
+recorded by the same harness must match bit-for-bit unless the model
+itself changed.  (The committed ``baseline`` entry predates the
+harness's clock rebasing, so it matches later entries only to ~1e-14
+relative — the last-ulp measurement wobble the rebasing removed; the
+bit-level regression gate lives in ``tests/test_perrank_reference.py``.)
+
+CLI::
+
+    python -m repro.bench.perfsuite --smoke            # quick CI variant
+    python -m repro.bench.perfsuite --label current    # full suite
+    python -m repro.bench.perfsuite --no-steady        # opt out of the
+                                                       # steady-state
+                                                       # short-circuit
+
+``--slow`` runs with ``REPRO_SIM_SLOWPATH=1`` (the reference from-scratch
+solver) — the configuration used to record the pre-optimisation baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.bench.harness import run_allreduce, run_bcast
+from repro.hardware.machine import Machine, Mode
+
+DEFAULT_OUT = "BENCH_core.json"
+
+#: full-suite sweep definitions: (kind, algorithm, dims, x values, iters)
+SWEEPS = {
+    "tree_bcast": {
+        "kind": "bcast",
+        "algorithm": "tree-shaddr",
+        "dims": (8, 8, 8),
+        "xs": [64 * 1024, 512 * 1024, 2 * 1024 * 1024],
+        "iters": 6,
+    },
+    "torus_bcast": {
+        "kind": "bcast",
+        "algorithm": "torus-shaddr",
+        "dims": (4, 4, 4),
+        "xs": [128 * 1024, 512 * 1024, 1024 * 1024],
+        "iters": 6,
+    },
+    "torus_allreduce": {
+        "kind": "allreduce",
+        "algorithm": "allreduce-torus-shaddr",
+        "dims": (4, 4, 4),
+        "xs": [16 * 1024, 64 * 1024, 256 * 1024],
+        "iters": 2,
+    },
+}
+
+#: CI-sized variant: same shape, tiny machines and messages
+SMOKE_SWEEPS = {
+    "tree_bcast": {
+        "kind": "bcast",
+        "algorithm": "tree-shaddr",
+        "dims": (2, 2, 2),
+        "xs": [16 * 1024, 64 * 1024],
+        "iters": 5,
+    },
+    "torus_bcast": {
+        "kind": "bcast",
+        "algorithm": "torus-shaddr",
+        "dims": (2, 2, 2),
+        "xs": [64 * 1024, 128 * 1024],
+        "iters": 5,
+    },
+    "torus_allreduce": {
+        "kind": "allreduce",
+        "algorithm": "allreduce-torus-shaddr",
+        "dims": (2, 2, 2),
+        "xs": [4 * 1024, 16 * 1024],
+        "iters": 2,
+    },
+}
+
+_RUNNERS = {"bcast": run_bcast, "allreduce": run_allreduce}
+
+
+def run_sweep_timed(spec: dict, steady_state: Optional[bool] = None) -> dict:
+    """Run one sweep; returns wall-clock and simulated-time records."""
+    runner = _RUNNERS[spec["kind"]]
+    points: List[dict] = []
+    kwargs = {}
+    if steady_state is not None:
+        kwargs["steady_state"] = steady_state
+    sweep_start = time.perf_counter()
+    for x in spec["xs"]:
+        machine = Machine(torus_dims=tuple(spec["dims"]), mode=Mode.QUAD)
+        t0 = time.perf_counter()
+        result = runner(machine, spec["algorithm"], x, iters=spec["iters"], **kwargs)
+        points.append(
+            {
+                "x": x,
+                "wall_s": round(time.perf_counter() - t0, 4),
+                "elapsed_us": result.elapsed_us,
+            }
+        )
+    return {
+        "kind": spec["kind"],
+        "algorithm": spec["algorithm"],
+        "dims": list(spec["dims"]),
+        "iters": spec["iters"],
+        "wall_s": round(time.perf_counter() - sweep_start, 4),
+        "points": points,
+    }
+
+
+def run_suite(
+    smoke: bool = False, steady_state: Optional[bool] = None
+) -> Dict[str, dict]:
+    """Run every sweep of the suite; returns ``{sweep_name: record}``."""
+    sweeps = SMOKE_SWEEPS if smoke else SWEEPS
+    out: Dict[str, dict] = {}
+    for name, spec in sweeps.items():
+        record = run_sweep_timed(spec, steady_state=steady_state)
+        out[name] = record
+        print(
+            f"{name:18s} {record['wall_s']:8.2f}s wall  "
+            + "  ".join(
+                f"{p['x']}B:{p['elapsed_us']:.1f}us" for p in record["points"]
+            )
+        )
+    return out
+
+
+def load_results(path: str) -> dict:
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                return json.load(handle)
+        except json.JSONDecodeError as exc:
+            # Results are loaded *after* the (possibly long) suite run, so a
+            # corrupt file must not throw the run away — start fresh instead.
+            print(f"warning: {path} is not valid JSON ({exc}); starting fresh",
+                  file=sys.stderr)
+    return {"suite": "core", "entries": {}}
+
+
+def save_entry(path: str, label: str, sweeps: Dict[str, dict], smoke: bool) -> dict:
+    """Insert/replace one labelled entry in the results file."""
+    results = load_results(path)
+    results.setdefault("entries", {})[label] = {
+        "recorded_at": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "python": platform.python_version(),
+        "smoke": smoke,
+        "slowpath": os.environ.get("REPRO_SIM_SLOWPATH", "") == "1",
+        "sweeps": sweeps,
+    }
+    with open(path, "w") as handle:
+        json.dump(results, handle, indent=1)
+        handle.write("\n")
+    return results
+
+
+def speedup_table(results: dict, base: str = "baseline", new: str = "current") -> str:
+    """Per-sweep wall-clock speedup of ``new`` over ``base`` (when both exist)."""
+    entries = results.get("entries", {})
+    if base not in entries or new not in entries:
+        return f"(no speedup table: need both {base!r} and {new!r} entries)"
+    if entries[base].get("smoke") != entries[new].get("smoke"):
+        return (
+            f"(no speedup table: {base!r} and {new!r} were recorded at "
+            "different sizes — smoke vs full suite)"
+        )
+    lines = [f"{'sweep':18s} {'base s':>9} {'new s':>9} {'speedup':>8}"]
+    for name, record in entries[base]["sweeps"].items():
+        if name not in entries[new]["sweeps"]:
+            continue
+        b = record["wall_s"]
+        n = entries[new]["sweeps"][name]["wall_s"]
+        lines.append(f"{name:18s} {b:9.2f} {n:9.2f} {b / n:7.2f}x")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="perfsuite", description="Time the simulator core's hot sweeps."
+    )
+    parser.add_argument("--smoke", action="store_true", help="CI-sized variant")
+    parser.add_argument("--label", default="current", help="entry label")
+    parser.add_argument("--out", default=DEFAULT_OUT, help="results JSON path")
+    parser.add_argument(
+        "--no-steady", action="store_true",
+        help="disable the harness steady-state short-circuit",
+    )
+    parser.add_argument(
+        "--slow", action="store_true",
+        help="use the reference from-scratch solver (REPRO_SIM_SLOWPATH=1)",
+    )
+    args = parser.parse_args(argv)
+    if args.slow:
+        os.environ["REPRO_SIM_SLOWPATH"] = "1"
+    steady = False if args.no_steady else None
+    sweeps = run_suite(smoke=args.smoke, steady_state=steady)
+    results = save_entry(args.out, args.label, sweeps, args.smoke)
+    print(f"\nwrote entry {args.label!r} to {args.out}")
+    print(speedup_table(results))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

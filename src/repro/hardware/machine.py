@@ -118,6 +118,29 @@ class Machine:
         """Drain the event queue; returns the final simulation time."""
         return self.engine.run()
 
+    def rebase_time(self) -> None:
+        """Reset the simulation clock origin to the current instant.
+
+        Folds every resource's busy integral up to now, shifts any
+        in-flight flow's progress bookkeeping, and rebases the engine
+        (see :meth:`Engine.rebase`).  The harness calls this at each
+        iteration barrier so every iteration runs the same float
+        arithmetic regardless of how much virtual time has passed.
+        """
+        now = self.engine.now
+        if now == 0.0:
+            return
+        shifted = set()
+        for resource in self.flownet.resources:
+            resource.integrate(now)
+            resource._busy_last = 0.0
+            for flow in resource.flows:
+                if id(flow) not in shifted:
+                    shifted.add(id(flow))
+                    flow.advance(now)
+                    flow.last_update = 0.0
+        self.engine.rebase(now)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<Machine {self.torus.dims} mode={self.mode.name} "

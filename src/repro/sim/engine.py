@@ -82,11 +82,17 @@ class Process(Waitable):
 class Engine:
     """The event loop: a virtual clock plus a deterministic event heap."""
 
+    __slots__ = (
+        "now", "_heap", "_seq", "_processes", "_prune_at",
+        "_running", "trace_enabled", "trace_log",
+    )
+
     def __init__(self, trace: bool = False):
         self.now: float = 0.0
         self._heap: List[Tuple[float, int, Callable, Any]] = []
         self._seq: int = 0
         self._processes: List[Process] = []
+        self._prune_at: int = 256
         self._running = False
         self.trace_enabled = trace
         self.trace_log: List[Tuple[float, str]] = []
@@ -119,9 +125,18 @@ class Engine:
         """Create a process from a generator and start it at the current time."""
         process = Process(self, generator, name=name)
         self._processes.append(process)
+        # Amortized prune of finished processes so long multi-sweep runs
+        # (which spawn thousands of short-lived coroutines) keep flat memory.
+        if len(self._processes) >= self._prune_at:
+            self._processes = [p for p in self._processes if not p.finished]
+            self._prune_at = max(256, 2 * len(self._processes))
         # First resume primes the generator (send(None) == next()).
         self.call_at(self.now, process.resume, None)
         return process
+
+    def active_processes(self) -> List[Process]:
+        """Processes spawned on this engine that have not yet finished."""
+        return [p for p in self._processes if not p.finished]
 
     # -- running -----------------------------------------------------------
     def run(self, until: Optional[float] = None) -> float:
@@ -132,21 +147,60 @@ class Engine:
         if self._running:
             raise SimulationError("Engine.run is not re-entrant")
         self._running = True
+        heap = self._heap
+        pop = heapq.heappop
         try:
-            while self._heap:
-                when, _seq, callback, value = self._heap[0]
-                if until is not None and when > until:
-                    self.now = until
-                    break
-                heapq.heappop(self._heap)
-                self.now = when
-                callback(value)
+            if until is None:
+                # Hot loop: no deadline checks, locals only.
+                while heap:
+                    when, _seq, callback, value = pop(heap)
+                    self.now = when
+                    callback(value)
             else:
-                if until is not None and until > self.now:
-                    self.now = until
+                while heap:
+                    if heap[0][0] > until:
+                        self.now = until
+                        break
+                    when, _seq, callback, value = pop(heap)
+                    self.now = when
+                    callback(value)
+                else:
+                    if until > self.now:
+                        self.now = until
         finally:
             self._running = False
         return self.now
+
+    def rebase(self, origin: Optional[float] = None) -> float:
+        """Shift the clock origin: ``now`` and all pending event times drop
+        by ``origin`` (default: the current time), clamped at zero.
+
+        Floating-point event arithmetic depends on the magnitude of the
+        clock — ``fl(now + delay)`` rounds differently at ``now=1e4`` than
+        at ``now=2e4`` — so two identical workloads started at different
+        absolute times can differ in the last ulp.  Rebasing the clock to
+        zero at a quiescent instant (the Fig-5 harness does this at every
+        iteration barrier) makes repeated workloads run the *exact same*
+        arithmetic and therefore produce bit-identical timings.
+
+        Entries scheduled at exactly ``origin`` (e.g. a barrier-release
+        batch) shift to exactly ``0.0``; a batch of same-instant callbacks
+        keeps its relative (seq) order.  Returns the subtracted origin.
+        """
+        if origin is None:
+            origin = self.now
+        if origin == 0.0:
+            return 0.0
+        heap = self._heap
+        for index, (when, seq, callback, value) in enumerate(heap):
+            shifted = when - origin
+            heap[index] = (
+                shifted if shifted > 0.0 else 0.0, seq, callback, value
+            )
+        heapq.heapify(heap)
+        shifted_now = self.now - origin
+        self.now = shifted_now if shifted_now > 0.0 else 0.0
+        return origin
 
     def run_until_processes_finish(self, processes: List[Process]) -> float:
         """Run until every listed process has terminated.

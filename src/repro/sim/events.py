@@ -14,7 +14,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class Waitable:
-    """Base class for objects a simulation process may ``yield``."""
+    """Base class for objects a simulation process may ``yield``.
+
+    Declares empty ``__slots__`` so that the per-event hot classes deriving
+    from it (``Timeout``, ``Event``, ``Flow``, ``Process``) actually get the
+    compact slotted layout their own ``__slots__`` declarations ask for —
+    a slotted subclass of a dict-ful base would silently keep the dict.
+    """
+
+    __slots__ = ()
 
     def subscribe(self, process: "Process") -> None:
         raise NotImplementedError

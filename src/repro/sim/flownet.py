@@ -25,13 +25,33 @@ an emergent property instead of a hard-coded constant.
 
 Efficiency: rates only change when a flow starts, finishes, or a capacity is
 reconfigured, and a change only affects the *connected component* of flows
-that (transitively) share resources.  Flows in different components — e.g.
-independent nodes draining the collective network — are updated in O(1).
+that (transitively) share resources.  Two solver paths compute that
+component:
+
+* the **incremental fast path** (default) keeps a component cache — a
+  union-find forest over flows — so starting a flow unions the components
+  of its resources in O(α) instead of walking the component, and only a
+  finish of a multi-resource flow (a potential articulation point) pays a
+  split-detection traversal;
+* the **reference slow path** (``REPRO_SIM_SLOWPATH=1`` or
+  ``FlowNetwork(engine, incremental=False)``) rediscovers the component by
+  graph traversal on every perturbation, exactly as the original solver
+  did.
+
+Both paths feed the identical progressive-filling code and produce
+bit-identical rates and completion times; the property suite asserts this
+on randomized flow graphs and on full collective scenarios.  Each resource
+additionally maintains running accumulators — ``load`` (weighted bytes/µs
+currently flowing) and the active weight sum — so per-event bookkeeping is
+O(1) instead of O(flows).  ``REPRO_SIM_DEBUG=1`` cross-checks every
+accumulator against a from-scratch recomputation.
 """
 
 from __future__ import annotations
 
 import math
+import os
+from operator import attrgetter
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.sim.engine import Engine, SimulationError
@@ -45,7 +65,9 @@ class FlowResource:
     """A capacity-constrained port/engine/link inside a :class:`FlowNetwork`."""
 
     __slots__ = (
-        "name", "capacity", "flows", "network", "_busy_acc", "_busy_last"
+        "name", "capacity", "flows", "network", "component",
+        "_busy_acc", "_busy_last", "_load", "_wsum",
+        "_fill_slack", "_fill_wsum", "_fill_epoch", "_seen_epoch",
     )
 
     def __init__(self, network: "FlowNetwork", name: str, capacity: float):
@@ -55,9 +77,22 @@ class FlowResource:
         self.name = name
         self.capacity = float(capacity)
         self.flows: Set["Flow"] = set()
+        #: component-cache entry point (fast path); None when idle
+        self.component: Optional["_Component"] = None
         #: time-integral of load (raw bytes) — the utilization monitor
         self._busy_acc = 0.0
         self._busy_last = 0.0
+        #: running weighted consumption (bytes/µs) — kept in sync by the
+        #: solver so the ``load`` property is O(1)
+        self._load = 0.0
+        #: running weight sum over active flows — the progressive filler's
+        #: starting ``wsum`` without an O(flows) rebuild
+        self._wsum = 0.0
+        # per-fill scratch state, validity tagged by epoch counters
+        self._fill_slack = 0.0
+        self._fill_wsum = 0.0
+        self._fill_epoch = 0
+        self._seen_epoch = 0
 
     def set_capacity(self, capacity: float) -> None:
         """Reconfigure capacity; re-solves the affected component immediately.
@@ -73,8 +108,15 @@ class FlowResource:
 
     @property
     def load(self) -> float:
-        """Current total weighted consumption (bytes/µs)."""
-        return sum(f.rate * f.usage[self] for f in self.flows)
+        """Current total weighted consumption (bytes/µs); O(1)."""
+        if self.network._debug:
+            fresh = sum(f.rate * f.usage[self] for f in self.flows)
+            if abs(fresh - self._load) > 1e-9 * max(1.0, abs(fresh)):
+                raise SimulationError(
+                    f"resource {self.name!r}: load accumulator drifted "
+                    f"({self._load} vs recomputed {fresh})"
+                )
+        return self._load
 
     def integrate(self, now: float) -> None:
         """Fold the current load into the busy-time integral up to ``now``.
@@ -83,12 +125,12 @@ class FlowResource:
         load (flow rate changes, arrivals, departures, capacity changes).
         """
         if now > self._busy_last:
-            self._busy_acc += self.load * (now - self._busy_last)
+            self._busy_acc += self._load * (now - self._busy_last)
             self._busy_last = now
 
     def busy_integral(self, now: float) -> float:
         """Total raw bytes served through this resource up to ``now``."""
-        return self._busy_acc + self.load * max(0.0, now - self._busy_last)
+        return self._busy_acc + self._load * max(0.0, now - self._busy_last)
 
     def utilization(self, now: float, since: float = 0.0) -> float:
         """Mean load / capacity over ``[since, now]`` (0 when empty window).
@@ -119,11 +161,14 @@ class Flow(Waitable):
         "remaining",
         "cap",
         "usage",
+        "usage_items",
         "rate",
         "event",
         "last_update",
         "generation",
         "finished",
+        "component",
+        "seq",
     )
 
     def __init__(
@@ -134,17 +179,24 @@ class Flow(Waitable):
         usage: Dict[FlowResource, float],
         event: Event,
         now: float,
+        seq: int = 0,
     ):
+        self.seq = seq
         self.name = name
         self.nbytes = float(nbytes)
         self.remaining = float(nbytes)
         self.cap = cap
         self.usage = usage
+        #: frozen (resource, weight) pairs — ``usage`` never changes after
+        #: construction, so the hot loops iterate this list instead of
+        #: re-materialising dict views
+        self.usage_items = list(usage.items())
         self.rate = 0.0
         self.event = event
         self.last_update = now
         self.generation = 0
         self.finished = False
+        self.component: Optional["_Component"] = None
 
     def subscribe(self, process) -> None:
         self.event.subscribe(process)
@@ -157,15 +209,68 @@ class Flow(Waitable):
         self.last_update = now
 
 
-class FlowNetwork:
-    """Container of resources and flows with max-min fair rate allocation."""
+class _Component:
+    """One connected component of the flow/resource sharing graph.
 
-    def __init__(self, engine: Engine):
+    Nodes of a union-find forest: ``parent`` is None on roots; only roots
+    own a ``flows`` dict (insertion-ordered member set).  ``dirty`` marks a
+    root whose membership may be an over-approximation (a multi-resource
+    flow finished, so the component may have split); a dirty root is
+    re-carved by traversal before its next resolve.
+    """
+
+    __slots__ = ("flows", "parent", "dirty")
+
+    def __init__(self):
+        self.flows: Optional[Dict[Flow, None]] = {}
+        self.parent: Optional["_Component"] = None
+        self.dirty = False
+
+
+#: canonical solver ordering — creation order (C-level getter, hot sort key)
+_flow_seq_key = attrgetter("seq")
+
+
+def _find(component: _Component) -> _Component:
+    """Union-find root lookup with path compression."""
+    root = component
+    while root.parent is not None:
+        root = root.parent
+    while component.parent is not None:
+        component.parent, component = root, component.parent
+    return root
+
+
+class FlowNetwork:
+    """Container of resources and flows with max-min fair rate allocation.
+
+    ``incremental`` selects the component-cache fast path (default) or the
+    traversal-per-perturbation reference path; ``None`` reads the
+    ``REPRO_SIM_SLOWPATH`` environment variable.  ``debug`` (or
+    ``REPRO_SIM_DEBUG=1``) cross-checks the O(1) accumulators against
+    from-scratch recomputation at every solve.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        incremental: Optional[bool] = None,
+        debug: Optional[bool] = None,
+    ):
         self.engine = engine
         self.resources: List[FlowResource] = []
         #: cumulative payload bytes completed (for utilisation reporting)
         self.bytes_completed = 0.0
         self.flows_completed = 0
+        if incremental is None:
+            incremental = os.environ.get("REPRO_SIM_SLOWPATH", "") != "1"
+        if debug is None:
+            debug = os.environ.get("REPRO_SIM_DEBUG", "") == "1"
+        self.incremental = bool(incremental)
+        self._debug = bool(debug)
+        self._fill_epoch = 0
+        self._seen_epoch = 0
+        self._flow_seq = 0
 
     # -- construction ---------------------------------------------------
     def add_resource(self, name: str, capacity: float) -> FlowResource:
@@ -206,16 +311,29 @@ class FlowNetwork:
         flow_cap = float(cap) if cap is not None else math.inf
         if flow_cap is math.inf and not usage:
             raise SimulationError(f"flow {name!r} is unconstrained")
-        flow = Flow(name, nbytes, flow_cap, dict(usage), event, self.engine.now)
-        for resource in flow.usage:
+        self._flow_seq += 1
+        flow = Flow(
+            name, nbytes, flow_cap, dict(usage), event, self.engine.now,
+            seq=self._flow_seq,
+        )
+        for resource, weight in flow.usage.items():
             resource.flows.add(flow)
-        self._resolve_component(flow)
-        self.engine.trace(f"flow+ {name} {nbytes:.0f}B rate={flow.rate:.1f}")
+            resource._wsum += weight
+        if self.incremental:
+            self._resolve(self._attach(flow))
+        else:
+            self._resolve(self._component([flow]))
+        if self.engine.trace_enabled:
+            self.engine.trace(f"flow+ {name} {nbytes:.0f}B rate={flow.rate:.1f}")
         return flow
 
     # -- component solving --------------------------------------------------
     def _component(self, seed_flows: Iterable[Flow]) -> List[Flow]:
-        """All flows transitively sharing a resource with the seeds."""
+        """All flows transitively sharing a resource with the seeds.
+
+        Reference traversal, used by the slow path on every perturbation and
+        by the fast path only to re-carve dirty (possibly split) components.
+        """
         seen: Set[Flow] = set()
         stack: List[Flow] = [f for f in seed_flows if not f.finished]
         seen.update(stack)
@@ -232,17 +350,112 @@ class FlowNetwork:
                         stack.append(other)
         return list(seen)
 
-    def _resolve_component(self, seed: Flow) -> None:
-        self._resolve(self._component([seed]))
+    def _attach(self, flow: Flow) -> List[Flow]:
+        """Insert a new flow into the component cache; returns its component.
+
+        Unions the (root) components of the flow's resources; if any of them
+        is dirty the true component is re-carved by traversal, so the list
+        handed to the solver is always exact.
+        """
+        roots: List[_Component] = []
+        for resource in flow.usage:
+            entry = resource.component
+            if entry is not None:
+                root = _find(entry)
+                if root not in roots:
+                    roots.append(root)
+        if not roots:
+            root = _Component()
+        elif len(roots) == 1:
+            root = roots[0]
+        else:
+            root = max(roots, key=lambda c: len(c.flows))
+            for other in roots:
+                if other is root:
+                    continue
+                root.flows.update(other.flows)
+                root.dirty = root.dirty or other.dirty
+                other.parent = root
+                other.flows = None
+        root.flows[flow] = None
+        flow.component = root
+        for resource in flow.usage:
+            resource.component = root
+        if root.dirty:
+            return self._recarve([flow])
+        return list(root.flows)
+
+    def _recarve(self, seeds: Iterable[Flow]) -> List[Flow]:
+        """Rebuild exact components for the seeds' region of a dirty root.
+
+        Traverses from each seed, carving a fresh clean component per
+        connected region and detaching its members from their stale roots.
+        Returns the union of the carved components (the exact set the
+        reference path would resolve for these seeds).
+        """
+        group: List[Flow] = []
+        seen: Set[Flow] = set()
+        for seed in seeds:
+            if seed.finished or seed in seen:
+                continue
+            component = _Component()
+            stack = [seed]
+            seen.add(seed)
+            visited_resources: Set[FlowResource] = set()
+            while stack:
+                flow = stack.pop()
+                old = flow.component
+                if old is not None:
+                    old_root = _find(old)
+                    if old_root.flows is not None:
+                        old_root.flows.pop(flow, None)
+                component.flows[flow] = None
+                flow.component = component
+                group.append(flow)
+                for resource in flow.usage:
+                    if resource in visited_resources:
+                        continue
+                    visited_resources.add(resource)
+                    resource.component = component
+                    for other in resource.flows:
+                        if other not in seen and not other.finished:
+                            seen.add(other)
+                            stack.append(other)
+        return group
 
     def _resolve_component_of_resources(
         self, resources: Iterable[FlowResource]
     ) -> None:
-        seeds: List[Flow] = []
+        """Re-solve every flow (transitively) affected by these resources."""
+        if not self.incremental:
+            seeds: List[Flow] = []
+            for resource in resources:
+                seeds.extend(resource.flows)
+            if seeds:
+                self._resolve(self._component(seeds))
+            return
+        roots: List[_Component] = []
+        dirty = False
         for resource in resources:
-            seeds.extend(resource.flows)
-        if seeds:
-            self._resolve(self._component(seeds))
+            if resource.flows and resource.component is not None:
+                root = _find(resource.component)
+                if root not in roots:
+                    roots.append(root)
+                    dirty = dirty or root.dirty
+        if not roots:
+            return
+        if dirty:
+            seeds = []
+            for resource in resources:
+                seeds.extend(resource.flows)
+            self._resolve(self._recarve(seeds))
+        elif len(roots) == 1:
+            self._resolve(list(roots[0].flows))
+        else:
+            group: List[Flow] = []
+            for root in roots:
+                group.extend(root.flows)
+            self._resolve(group)
 
     def _resolve(self, flows: List[Flow]) -> None:
         """Advance, re-solve rates (progressive filling), reschedule.
@@ -250,25 +463,43 @@ class FlowNetwork:
         Only flows whose rate actually changed get a fresh deadline; an
         unchanged flow's previously scheduled completion stays valid, which
         keeps the event heap small when large components re-solve often.
+
+        Flows are processed in creation order — a canonical order shared by
+        the fast and reference paths, so event tie-breaking (and therefore
+        the whole simulation) is independent of how the component was
+        discovered and of interpreter memory layout.
         """
+        flows.sort(key=_flow_seq_key)
         now = self.engine.now
-        old_rates = {}
-        seen_resources: Set[FlowResource] = set()
+        epoch = self._seen_epoch = self._seen_epoch + 1
+        old_rates: List[float] = []
         for flow in flows:
-            flow.advance(now)
-            old_rates[id(flow)] = flow.rate
+            if now > flow.last_update:
+                flow.remaining -= flow.rate * (now - flow.last_update)
+            flow.last_update = now
+            old_rates.append(flow.rate)
             for resource in flow.usage:
-                if resource not in seen_resources:
-                    seen_resources.add(resource)
-                    # Fold the pre-change load into the busy integral.
-                    resource.integrate(now)
+                if resource._seen_epoch != epoch:
+                    resource._seen_epoch = epoch
+                    # Fold the pre-change load into the busy integral
+                    # (resource.integrate, inlined for the hot path).
+                    if now > resource._busy_last:
+                        resource._busy_acc += resource._load * (
+                            now - resource._busy_last
+                        )
+                        resource._busy_last = now
         self._progressive_fill(flows)
-        for flow in flows:
-            old = old_rates[id(flow)]
+        for index, flow in enumerate(flows):
+            old = old_rates[index]
             # Tolerant comparison: re-solving a component whose membership
             # changed elsewhere can produce meaningless last-bit jitter.
+            tol = flow.rate if flow.rate > old else old
+            if tol < 1.0:
+                tol = 1.0
+            delta = flow.rate - old
             if (
-                abs(flow.rate - old) > 1e-12 * max(flow.rate, old, 1.0)
+                delta > 1e-12 * tol
+                or -delta > 1e-12 * tol
                 or flow.remaining <= _EPS_BYTES
             ):
                 self._schedule_completion(flow)
@@ -285,42 +516,54 @@ class FlowNetwork:
         """
         if not flows:
             return
-        resources: Set[FlowResource] = set()
+        epoch = self._fill_epoch = self._fill_epoch + 1
+        resources: List[FlowResource] = []
         for flow in flows:
             flow.rate = 0.0
-            resources.update(flow.usage)
-        slack: Dict[FlowResource, float] = {}
-        wsum: Dict[FlowResource, float] = {}
-        for r in resources:
-            slack[r] = r.capacity
-            wsum[r] = 0.0
-        for flow in flows:
-            for r, w in flow.usage.items():
-                wsum[r] += w
-        active: Set[Flow] = set(flows)
+            for r in flow.usage:
+                if r._fill_epoch != epoch:
+                    r._fill_epoch = epoch
+                    r._fill_slack = r.capacity
+                    r._fill_wsum = r._wsum
+                    resources.append(r)
+        if self._debug:
+            self._check_accumulators(flows, resources)
+        active = list(flows)
+        live = resources  # resources whose active weight sum is still > 0
         level = 0.0
         while active:
+            # One pass: find the binding resource AND compact resources
+            # whose weight sum drained (their flows all froze) out of the
+            # next round's scans.  A drained resource can never re-arm —
+            # frozen flows stay frozen — so dropping it is exact.
             alpha = math.inf
-            for r in resources:
-                if wsum[r] > _EPS_RATE:
-                    a = slack[r] / wsum[r]
+            next_live: List[FlowResource] = []
+            for r in live:
+                w = r._fill_wsum
+                if w > _EPS_RATE:
+                    next_live.append(r)
+                    a = r._fill_slack / w
                     if a < alpha:
                         alpha = a
+            live = next_live
             min_cap = math.inf
             for flow in active:
                 if flow.cap < min_cap:
                     min_cap = flow.cap
-            alpha = min(alpha, min_cap - level)
+            d = min_cap - level
+            if d < alpha:
+                alpha = d
             if alpha is math.inf:
-                names = ", ".join(f.name for f in list(active)[:4])
+                names = ", ".join(f.name for f in active[:4])
                 raise SimulationError(
                     f"unconstrained flows in component: {names}"
                 )
-            alpha = max(alpha, 0.0)
+            if alpha < 0.0:
+                alpha = 0.0
             level += alpha
-            for r in resources:
-                if wsum[r] > _EPS_RATE:
-                    slack[r] -= wsum[r] * alpha
+            for r in live:
+                r._fill_slack -= r._fill_wsum * alpha
+            still: List[Flow] = []
             frozen: List[Flow] = []
             for flow in active:
                 if level >= flow.cap - _EPS_RATE:
@@ -328,18 +571,48 @@ class FlowNetwork:
                     frozen.append(flow)
                     continue
                 for r in flow.usage:
-                    if slack[r] <= _EPS_RATE:
+                    if r._fill_slack <= _EPS_RATE:
                         flow.rate = level
                         frozen.append(flow)
                         break
+                else:
+                    still.append(flow)
             if not frozen:
                 raise SimulationError(
                     "progressive filling failed to converge (numerical issue)"
                 )
             for flow in frozen:
-                active.discard(flow)
-                for r, w in flow.usage.items():
-                    wsum[r] -= w
+                for r, w in flow.usage_items:
+                    r._fill_wsum -= w
+            active = still
+        # Refresh the O(1) load accumulators from the just-computed rates.
+        for r in resources:
+            r._load = 0.0
+        for flow in flows:
+            rate = flow.rate
+            for r, w in flow.usage_items:
+                r._load += rate * w
+
+    def _check_accumulators(
+        self, flows: List[Flow], resources: List[FlowResource]
+    ) -> None:
+        """Debug-mode guard: running accumulators match a fresh recompute."""
+        for r in resources:
+            fresh_wsum = sum(
+                f.usage[r] for f in r.flows if not f.finished
+            )
+            if abs(fresh_wsum - r._wsum) > 1e-9 * max(1.0, abs(fresh_wsum)):
+                raise SimulationError(
+                    f"resource {r.name!r}: weight-sum accumulator drifted "
+                    f"({r._wsum} vs recomputed {fresh_wsum})"
+                )
+        if self.incremental:
+            exact = set(self._component(flows))
+            if exact != set(flows):
+                raise SimulationError(
+                    "component cache out of sync with the sharing graph: "
+                    f"cached {len(flows)} flows, exact {len(exact)}"
+                )
 
     def _schedule_completion(self, flow: Flow) -> None:
         flow.generation += 1
@@ -369,12 +642,32 @@ class FlowNetwork:
         flow.remaining = 0.0
         resources = list(flow.usage.keys())
         now = self.engine.now
-        for resource in resources:
+        rate = flow.rate
+        for resource, weight in flow.usage_items:
             resource.integrate(now)
             resource.flows.discard(flow)
+            resource._wsum -= weight
+            if resource.flows:
+                resource._load -= rate * weight
+            else:
+                # Clamp accumulator drift on an idle resource to exactly 0.
+                resource._load = 0.0
+                resource._wsum = 0.0
+                resource.component = None
+        if self.incremental and flow.component is not None:
+            root = _find(flow.component)
+            if root.flows is not None:
+                root.flows.pop(flow, None)
+            flow.component = None
+            if len(resources) > 1:
+                # The flow may have been an articulation point: its
+                # component can split, so membership must be re-carved
+                # before the next resolve.
+                root.dirty = True
         self.bytes_completed += flow.nbytes
         self.flows_completed += 1
-        self.engine.trace(f"flow- {flow.name}")
+        if self.engine.trace_enabled:
+            self.engine.trace(f"flow- {flow.name}")
         flow.event.trigger(self.engine.now)
         # Freed capacity speeds up neighbours: re-solve their component.
         self._resolve_component_of_resources(resources)
