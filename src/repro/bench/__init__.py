@@ -1,6 +1,11 @@
 """Benchmark harness: the Fig-5 microbenchmark and per-figure experiments."""
 
-from repro.bench.harness import run_allgather, run_allreduce, run_bcast
+from repro.bench.harness import (
+    run_allgather,
+    run_allreduce,
+    run_bcast,
+    run_collective,
+)
 from repro.bench.profile import UtilizationReport, format_report, utilization_report
 from repro.bench.report import Series, format_table, speedup
 
@@ -15,6 +20,7 @@ def __getattr__(name):
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
+    "run_collective",
     "run_bcast",
     "run_allreduce",
     "run_allgather",

@@ -15,9 +15,21 @@ per-iteration elapsed time is the maximum over ranks (the time at which the
 operation completed machine-wide); the reported number is the mean over
 iterations, just like the pseudo-code.
 
-Window services (shared-address mapping caches) persist across iterations,
-so with caching enabled only the first iteration pays mapping system calls
-— the behaviour Figure 8's "caching" series measures.
+One loop, many collectives
+--------------------------
+
+Every collective family is measured by the same driver,
+:func:`run_collective`; what differs per family — how the verification
+payload is built, how the invocation constructor is spelled, what the
+reported byte count and the node-local working set are — is captured in a
+small :class:`FamilySpec` adapter, one per family in :data:`FAMILY_SPECS`.
+The historical per-family entry points (``run_bcast``, ``run_allreduce``,
+...) survive as thin wrappers.
+
+Window services (shared-address mapping caches) persist across iterations
+through an :class:`~repro.collectives.base.InvocationSession`, so with
+caching enabled only the first iteration pays mapping system calls — the
+behaviour Figure 8's "caching" series measures.
 
 Steady-state short-circuit
 --------------------------
@@ -35,29 +47,20 @@ jitter or mid-run degradation: perturbed iterations never compare equal
 and the full loop runs.  It is *not* safe when the caller mutates the
 machine from outside between iterations in a way that happens to first
 bite on a later iteration; pass ``steady_state=False`` (the opt-out on
-every ``run_*``) in that case.  ``verify=True`` also disables it by
+every entry point) in that case.  ``verify=True`` also disables it by
 default so the payload actually travels through every iteration.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
-from repro.collectives.base import BcastInvocation, CollectiveResult
-from repro.collectives.registry import (
-    allgather_algorithm,
-    allreduce_algorithm,
-    alltoall_algorithm,
-    barrier_algorithm,
-    bcast_algorithm,
-    gather_algorithm,
-    reduce_algorithm,
-    scatter_algorithm,
-)
+from repro.collectives.base import CollectiveResult, InvocationBase
+from repro.collectives.registry import get_algorithm, select_protocol
 from repro.hardware.machine import Machine
-from repro.kernel.windows import ProcessWindows
 
 
 def _measure(
@@ -80,7 +83,7 @@ def _measure(
     engine = machine.engine
     barrier = machine.make_barrier()
     invocations: Dict[int, object] = {}
-    windows_by_rank: Dict[int, ProcessWindows] = {}
+    session = InvocationBase.session()
     nprocs = machine.nprocs
     times: List[List[float]] = [[0.0] * nprocs for _ in range(iters)]
     # Shared steady-state detector: ``left`` counts ranks yet to finish
@@ -92,8 +95,7 @@ def _measure(
     def get_invocation(iteration: int):
         inv = invocations.get(iteration)
         if inv is None:
-            inv = make_invocation(iteration)
-            inv.install_windows(windows_by_rank)
+            inv = session.adopt(make_invocation(iteration))
             invocations[iteration] = inv
         return inv
 
@@ -148,6 +150,203 @@ def _measure(
     return times
 
 
+# -- family adapters ----------------------------------------------------
+
+def _bcast_payload(machine: Machine, x: int, rng) -> np.ndarray:
+    return rng.integers(0, 256, size=x, dtype=np.uint8)
+
+
+def _doubles_payload(machine: Machine, x: int, rng) -> np.ndarray:
+    # Small integers stored as doubles: bit-exact under reordering.
+    return rng.integers(0, 16, size=(machine.nprocs, x)).astype(np.float64)
+
+
+def _blocks_payload(machine: Machine, x: int, rng) -> np.ndarray:
+    return rng.integers(0, 256, size=(machine.nprocs, x), dtype=np.uint8)
+
+
+def _pairwise_payload(machine: Machine, x: int, rng) -> np.ndarray:
+    return rng.integers(
+        0, 256, size=(machine.nprocs, machine.nprocs, x), dtype=np.uint8
+    )
+
+
+def _build_root_bytes(cls, machine, x, payload, root, window_caching):
+    return cls(machine, root, x, payload=payload,
+               window_caching=window_caching)
+
+
+def _build_values(cls, machine, x, payload, root, window_caching):
+    return cls(machine, x, values=payload, window_caching=window_caching)
+
+
+def _build_blocks(cls, machine, x, payload, root, window_caching):
+    return cls(machine, x, blocks=payload, window_caching=window_caching)
+
+
+def _build_plain(cls, machine, x, payload, root, window_caching):
+    return cls(machine)
+
+
+@dataclass(frozen=True)
+class FamilySpec:
+    """How one collective family plugs into the generic Fig-5 driver.
+
+    ``x`` is the family's natural size argument (message bytes for bcast,
+    element count for the reductions, per-rank/per-pair block bytes for
+    the block collectives, ignored for barrier).
+    """
+
+    family: str
+    #: invocation constructor adapter
+    build: Callable[..., object]
+    #: reported CollectiveResult.nbytes for a given x
+    nbytes: Callable[[Machine, int], int]
+    #: node-local hot bytes to install before measuring (None: skip)
+    working_set: Optional[Callable[[Machine, int], int]] = None
+    #: verification payload builder (None: family cannot carry data)
+    payload: Optional[Callable[[Machine, int, object], np.ndarray]] = None
+    #: byte size fed to the protocol-selection table for algorithm="auto"
+    select_nbytes: Optional[Callable[[Machine, int], int]] = None
+
+
+#: the adapter table: every family the harness can measure
+FAMILY_SPECS: Dict[str, FamilySpec] = {
+    # The master's buffer plus one destination buffer per peer process is
+    # hot on every node.
+    "bcast": FamilySpec(
+        family="bcast",
+        build=_build_root_bytes,
+        nbytes=lambda machine, x: x,
+        working_set=lambda machine, x: x * machine.ppn,
+        payload=_bcast_payload,
+        select_nbytes=lambda machine, x: x,
+    ),
+    # Every local process's send and receive partitions are touched.
+    "allreduce": FamilySpec(
+        family="allreduce",
+        build=_build_values,
+        nbytes=lambda machine, x: x * 8,
+        working_set=lambda machine, x: 2 * x * 8 * machine.ppn,
+        payload=_doubles_payload,
+        select_nbytes=lambda machine, x: x * 8,
+    ),
+    "reduce": FamilySpec(
+        family="reduce",
+        build=_build_values,
+        nbytes=lambda machine, x: x * 8,
+        working_set=lambda machine, x: 2 * x * 8 * machine.ppn,
+        payload=_doubles_payload,
+        select_nbytes=lambda machine, x: x * 8,
+    ),
+    # Every rank's assembled buffer is hot on every node.
+    "allgather": FamilySpec(
+        family="allgather",
+        build=_build_blocks,
+        nbytes=lambda machine, x: x * machine.nprocs,
+        working_set=lambda machine, x: x * machine.nprocs * machine.ppn,
+        payload=_blocks_payload,
+        # Selection is by the per-rank block size, not the total volume.
+        select_nbytes=lambda machine, x: x,
+    ),
+    # Per-rank volume received (the usual alltoall reporting convention).
+    "alltoall": FamilySpec(
+        family="alltoall",
+        build=_build_blocks,
+        nbytes=lambda machine, x: x * machine.nprocs,
+        working_set=lambda machine, x: 2 * x * machine.nprocs * machine.ppn,
+        payload=_pairwise_payload,
+    ),
+    "gather": FamilySpec(
+        family="gather",
+        build=_build_blocks,
+        nbytes=lambda machine, x: x * machine.nprocs,
+        working_set=lambda machine, x: x * machine.ppn,
+        payload=_blocks_payload,
+    ),
+    "scatter": FamilySpec(
+        family="scatter",
+        build=_build_blocks,
+        nbytes=lambda machine, x: x * machine.nprocs,
+        working_set=lambda machine, x: x * machine.ppn,
+        payload=_blocks_payload,
+    ),
+    # A barrier moves no payload; bandwidth is meaningless.
+    "barrier": FamilySpec(
+        family="barrier",
+        build=_build_plain,
+        nbytes=lambda machine, x: 0,
+    ),
+}
+
+
+def run_collective(
+    machine: Machine,
+    family: str,
+    algorithm: Union[str, type],
+    x: int = 0,
+    *,
+    root: int = 0,
+    iters: int = 1,
+    verify: bool = False,
+    window_caching: bool = True,
+    seed: int = 1234,
+    steady_state: Optional[bool] = None,
+) -> CollectiveResult:
+    """Measure one collective of ``family`` with the Fig-5 loop.
+
+    ``algorithm`` is a registry name, ``"auto"`` (resolved through the
+    section-V selection table when the family has one), or an invocation
+    class.  ``x`` is the family's natural size argument — see
+    :class:`FamilySpec`.  ``verify=True`` carries a pseudo-random payload
+    through the simulated machine and asserts every rank received the
+    correct bytes (slower; meant for tests and small configurations).
+    """
+    if family not in FAMILY_SPECS:
+        raise KeyError(
+            f"unknown collective family {family!r}; "
+            f"known: {sorted(FAMILY_SPECS)}"
+        )
+    spec = FAMILY_SPECS[family]
+    if isinstance(algorithm, str):
+        if algorithm == "auto":
+            if spec.select_nbytes is None:
+                raise KeyError(
+                    f"family {family!r} has no auto-selection policy"
+                )
+            algorithm = select_protocol(
+                family, spec.select_nbytes(machine, x), machine.ppn
+            )
+        cls = get_algorithm(family, algorithm)
+    else:
+        cls = algorithm
+    payload = None
+    if verify:
+        if spec.payload is None:
+            raise ValueError(
+                f"family {family!r} carries no payload; verify is not "
+                "supported"
+            )
+        payload = spec.payload(machine, x, np.random.default_rng(seed))
+    if spec.working_set is not None:
+        machine.set_working_set(spec.working_set(machine, x))
+
+    def make_invocation(_iteration: int):
+        return spec.build(cls, machine, x, payload, root, window_caching)
+
+    times = _measure(machine, make_invocation, iters, verify, steady_state)
+    per_iter = [max(row) for row in times]
+    return CollectiveResult(
+        algorithm=cls.name,
+        nbytes=spec.nbytes(machine, x),
+        nprocs=machine.nprocs,
+        elapsed_us=sum(per_iter) / len(per_iter),
+        iterations_us=per_iter,
+    )
+
+
+# -- per-family entry points (thin wrappers) ----------------------------
+
 def run_bcast(
     machine: Machine,
     algorithm: Union[str, type],
@@ -159,36 +358,11 @@ def run_bcast(
     seed: int = 1234,
     steady_state: Optional[bool] = None,
 ) -> CollectiveResult:
-    """Measure ``MPI_Bcast`` with the given algorithm on ``machine``.
-
-    ``verify=True`` carries a pseudo-random payload through the simulated
-    machine and asserts every rank received it bit-exactly (slower; meant
-    for tests and small configurations).
-    """
-    cls = bcast_algorithm(algorithm) if isinstance(algorithm, str) else algorithm
-    payload = None
-    if verify:
-        rng = np.random.default_rng(seed)
-        payload = rng.integers(0, 256, size=nbytes, dtype=np.uint8)
-    machine.set_working_set(_bcast_working_set(machine, nbytes))
-
-    def make_invocation(_iteration: int) -> BcastInvocation:
-        return cls(
-            machine,
-            root,
-            nbytes,
-            payload=payload,
-            window_caching=window_caching,
-        )
-
-    times = _measure(machine, make_invocation, iters, verify, steady_state)
-    per_iter = [max(row) for row in times]
-    return CollectiveResult(
-        algorithm=cls.name,
-        nbytes=nbytes,
-        nprocs=machine.nprocs,
-        elapsed_us=sum(per_iter) / len(per_iter),
-        iterations_us=per_iter,
+    """Measure ``MPI_Bcast`` with the given algorithm on ``machine``."""
+    return run_collective(
+        machine, "bcast", algorithm, nbytes, root=root, iters=iters,
+        verify=verify, window_caching=window_caching, seed=seed,
+        steady_state=steady_state,
     )
 
 
@@ -204,37 +378,9 @@ def run_allreduce(
     steady_state: Optional[bool] = None,
 ) -> CollectiveResult:
     """Measure ``MPI_Allreduce`` (sum of ``count`` doubles) on ``machine``."""
-    cls = (
-        allreduce_algorithm(algorithm)
-        if isinstance(algorithm, str)
-        else algorithm
-    )
-    values = None
-    if verify:
-        rng = np.random.default_rng(seed)
-        # Small integers stored as doubles: bit-exact under reordering.
-        values = rng.integers(0, 16, size=(machine.nprocs, count)).astype(
-            np.float64
-        )
-    nbytes = count * 8
-    machine.set_working_set(_allreduce_working_set(machine, nbytes))
-
-    def make_invocation(_iteration: int):
-        return cls(
-            machine,
-            count,
-            values=values,
-            window_caching=window_caching,
-        )
-
-    times = _measure(machine, make_invocation, iters, verify, steady_state)
-    per_iter = [max(row) for row in times]
-    return CollectiveResult(
-        algorithm=cls.name,
-        nbytes=nbytes,
-        nprocs=machine.nprocs,
-        elapsed_us=sum(per_iter) / len(per_iter),
-        iterations_us=per_iter,
+    return run_collective(
+        machine, "allreduce", algorithm, count, iters=iters, verify=verify,
+        window_caching=window_caching, seed=seed, steady_state=steady_state,
     )
 
 
@@ -249,37 +395,10 @@ def run_allgather(
     steady_state: Optional[bool] = None,
 ) -> CollectiveResult:
     """Measure an ``MPI_Allgather`` with per-rank blocks of ``block_bytes``."""
-    cls = (
-        allgather_algorithm(algorithm)
-        if isinstance(algorithm, str)
-        else algorithm
-    )
-    blocks = None
-    if verify:
-        rng = np.random.default_rng(seed)
-        blocks = rng.integers(
-            0, 256, size=(machine.nprocs, block_bytes), dtype=np.uint8
-        )
-    nbytes = block_bytes * machine.nprocs
-    # Every rank's assembled buffer is hot on every node.
-    machine.set_working_set(nbytes * machine.ppn)
-
-    def make_invocation(_iteration: int):
-        return cls(
-            machine,
-            block_bytes,
-            blocks=blocks,
-            window_caching=window_caching,
-        )
-
-    times = _measure(machine, make_invocation, iters, verify, steady_state)
-    per_iter = [max(row) for row in times]
-    return CollectiveResult(
-        algorithm=cls.name,
-        nbytes=nbytes,
-        nprocs=machine.nprocs,
-        elapsed_us=sum(per_iter) / len(per_iter),
-        iterations_us=per_iter,
+    return run_collective(
+        machine, "allgather", algorithm, block_bytes, iters=iters,
+        verify=verify, window_caching=window_caching, seed=seed,
+        steady_state=steady_state,
     )
 
 
@@ -294,37 +413,10 @@ def run_alltoall(
     steady_state: Optional[bool] = None,
 ) -> CollectiveResult:
     """Measure an ``MPI_Alltoall`` with per-pair blocks of ``block_bytes``."""
-    cls = (
-        alltoall_algorithm(algorithm)
-        if isinstance(algorithm, str)
-        else algorithm
-    )
-    blocks = None
-    if verify:
-        rng = np.random.default_rng(seed)
-        blocks = rng.integers(
-            0, 256,
-            size=(machine.nprocs, machine.nprocs, block_bytes),
-            dtype=np.uint8,
-        )
-    # Per-rank volume received (the usual alltoall reporting convention).
-    nbytes = block_bytes * machine.nprocs
-    machine.set_working_set(2 * nbytes * machine.ppn)
-
-    def make_invocation(_iteration: int):
-        return cls(
-            machine, block_bytes, blocks=blocks,
-            window_caching=window_caching,
-        )
-
-    times = _measure(machine, make_invocation, iters, verify, steady_state)
-    per_iter = [max(row) for row in times]
-    return CollectiveResult(
-        algorithm=cls.name,
-        nbytes=nbytes,
-        nprocs=machine.nprocs,
-        elapsed_us=sum(per_iter) / len(per_iter),
-        iterations_us=per_iter,
+    return run_collective(
+        machine, "alltoall", algorithm, block_bytes, iters=iters,
+        verify=verify, window_caching=window_caching, seed=seed,
+        steady_state=steady_state,
     )
 
 
@@ -335,24 +427,9 @@ def run_barrier(
     steady_state: Optional[bool] = None,
 ) -> CollectiveResult:
     """Measure an ``MPI_Barrier`` (latency in µs; bandwidth is meaningless)."""
-    cls = (
-        barrier_algorithm(algorithm)
-        if isinstance(algorithm, str)
-        else algorithm
-    )
-
-    def make_invocation(_iteration: int):
-        return cls(machine)
-
-    times = _measure(machine, make_invocation, iters, verify=False,
-                     steady_state=steady_state)
-    per_iter = [max(row) for row in times]
-    return CollectiveResult(
-        algorithm=cls.name,
-        nbytes=0,
-        nprocs=machine.nprocs,
-        elapsed_us=sum(per_iter) / len(per_iter),
-        iterations_us=per_iter,
+    return run_collective(
+        machine, "barrier", algorithm, iters=iters,
+        steady_state=steady_state,
     )
 
 
@@ -367,34 +444,10 @@ def run_scatter(
     steady_state: Optional[bool] = None,
 ) -> CollectiveResult:
     """Measure an ``MPI_Scatter`` (root 0) with per-rank blocks."""
-    cls = (
-        scatter_algorithm(algorithm)
-        if isinstance(algorithm, str)
-        else algorithm
-    )
-    blocks = None
-    if verify:
-        rng = np.random.default_rng(seed)
-        blocks = rng.integers(
-            0, 256, size=(machine.nprocs, block_bytes), dtype=np.uint8
-        )
-    nbytes = block_bytes * machine.nprocs
-    machine.set_working_set(block_bytes * machine.ppn)
-
-    def make_invocation(_iteration: int):
-        return cls(
-            machine, block_bytes, blocks=blocks,
-            window_caching=window_caching,
-        )
-
-    times = _measure(machine, make_invocation, iters, verify, steady_state)
-    per_iter = [max(row) for row in times]
-    return CollectiveResult(
-        algorithm=cls.name,
-        nbytes=nbytes,
-        nprocs=machine.nprocs,
-        elapsed_us=sum(per_iter) / len(per_iter),
-        iterations_us=per_iter,
+    return run_collective(
+        machine, "scatter", algorithm, block_bytes, iters=iters,
+        verify=verify, window_caching=window_caching, seed=seed,
+        steady_state=steady_state,
     )
 
 
@@ -409,33 +462,9 @@ def run_reduce(
     steady_state: Optional[bool] = None,
 ) -> CollectiveResult:
     """Measure an ``MPI_Reduce`` (sum of ``count`` doubles to rank 0)."""
-    cls = (
-        reduce_algorithm(algorithm)
-        if isinstance(algorithm, str)
-        else algorithm
-    )
-    values = None
-    if verify:
-        rng = np.random.default_rng(seed)
-        values = rng.integers(0, 16, size=(machine.nprocs, count)).astype(
-            np.float64
-        )
-    nbytes = count * 8
-    machine.set_working_set(2 * nbytes * machine.ppn)
-
-    def make_invocation(_iteration: int):
-        return cls(
-            machine, count, values=values, window_caching=window_caching
-        )
-
-    times = _measure(machine, make_invocation, iters, verify, steady_state)
-    per_iter = [max(row) for row in times]
-    return CollectiveResult(
-        algorithm=cls.name,
-        nbytes=nbytes,
-        nprocs=machine.nprocs,
-        elapsed_us=sum(per_iter) / len(per_iter),
-        iterations_us=per_iter,
+    return run_collective(
+        machine, "reduce", algorithm, count, iters=iters, verify=verify,
+        window_caching=window_caching, seed=seed, steady_state=steady_state,
     )
 
 
@@ -450,46 +479,8 @@ def run_gather(
     steady_state: Optional[bool] = None,
 ) -> CollectiveResult:
     """Measure an ``MPI_Gather`` (root = rank 0) with per-rank blocks."""
-    cls = (
-        gather_algorithm(algorithm)
-        if isinstance(algorithm, str)
-        else algorithm
+    return run_collective(
+        machine, "gather", algorithm, block_bytes, iters=iters,
+        verify=verify, window_caching=window_caching, seed=seed,
+        steady_state=steady_state,
     )
-    blocks = None
-    if verify:
-        rng = np.random.default_rng(seed)
-        blocks = rng.integers(
-            0, 256, size=(machine.nprocs, block_bytes), dtype=np.uint8
-        )
-    nbytes = block_bytes * machine.nprocs
-    machine.set_working_set(block_bytes * machine.ppn)
-
-    def make_invocation(_iteration: int):
-        return cls(
-            machine,
-            block_bytes,
-            blocks=blocks,
-            window_caching=window_caching,
-        )
-
-    times = _measure(machine, make_invocation, iters, verify, steady_state)
-    per_iter = [max(row) for row in times]
-    return CollectiveResult(
-        algorithm=cls.name,
-        nbytes=nbytes,
-        nprocs=machine.nprocs,
-        elapsed_us=sum(per_iter) / len(per_iter),
-        iterations_us=per_iter,
-    )
-
-
-def _bcast_working_set(machine: Machine, nbytes: int) -> int:
-    """Node-local hot bytes during a broadcast: the master's buffer plus one
-    destination buffer per peer process."""
-    return nbytes * machine.ppn
-
-
-def _allreduce_working_set(machine: Machine, nbytes: int) -> int:
-    """Node-local hot bytes during an allreduce: every local process's
-    send and receive partitions are touched."""
-    return 2 * nbytes * machine.ppn

@@ -45,7 +45,7 @@ import sys
 import time
 from typing import Dict, List, Optional
 
-from repro.bench.harness import run_allreduce, run_bcast
+from repro.bench.harness import run_collective
 from repro.hardware.machine import Machine, Mode
 
 DEFAULT_OUT = "BENCH_core.json"
@@ -100,12 +100,8 @@ SMOKE_SWEEPS = {
     },
 }
 
-_RUNNERS = {"bcast": run_bcast, "allreduce": run_allreduce}
-
-
 def run_sweep_timed(spec: dict, steady_state: Optional[bool] = None) -> dict:
     """Run one sweep; returns wall-clock and simulated-time records."""
-    runner = _RUNNERS[spec["kind"]]
     points: List[dict] = []
     kwargs = {}
     if steady_state is not None:
@@ -114,7 +110,10 @@ def run_sweep_timed(spec: dict, steady_state: Optional[bool] = None) -> dict:
     for x in spec["xs"]:
         machine = Machine(torus_dims=tuple(spec["dims"]), mode=Mode.QUAD)
         t0 = time.perf_counter()
-        result = runner(machine, spec["algorithm"], x, iters=spec["iters"], **kwargs)
+        result = run_collective(
+            machine, spec["kind"], spec["algorithm"], x,
+            iters=spec["iters"], **kwargs,
+        )
         points.append(
             {
                 "x": x,

@@ -11,11 +11,15 @@ Example config::
     {
       "name": "my-bcast-study",
       "kind": "bcast",
-      "algorithms": ["torus-shaddr", "torus-direct-put"],
+      "algorithms": ["torus-shaddr", "torus-direct-put", "auto"],
       "sizes": ["64K", "512K", "2M"],
       "machine": {"dims": [4, 4, 4], "mode": "quad"},
       "iters": 1
     }
+
+Any registered algorithm name of the kind works, plus ``"auto"``: the
+section-V selection table picks the protocol per x value, so the policy
+itself can be swept as a series.
 
 CLI: ``python -m repro sweep config.json [--out results.json]``.
 """
@@ -26,26 +30,21 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List
 
-from repro.bench.harness import (
-    run_allgather,
-    run_allreduce,
-    run_bcast,
-    run_gather,
-    run_reduce,
-    run_scatter,
-)
+from repro.bench.harness import run_collective
 from repro.bench.report import Series, format_table
 from repro.hardware.machine import Machine, Mode
 from repro.util.units import parse_size
 
-#: kind -> (runner, does x mean element count rather than bytes?)
+#: kind -> does x mean element count rather than bytes?  Every kind is
+#: measured through the generic ``run_collective`` driver.
 _KINDS = {
-    "bcast": (run_bcast, False),
-    "allreduce": (run_allreduce, True),
-    "reduce": (run_reduce, True),
-    "gather": (run_gather, False),
-    "scatter": (run_scatter, False),
-    "allgather": (run_allgather, False),
+    "bcast": False,
+    "allreduce": True,
+    "reduce": True,
+    "gather": False,
+    "scatter": False,
+    "allgather": False,
+    "alltoall": False,
 }
 
 
@@ -64,7 +63,7 @@ class SweepResult:
     def table(self, metric: str = "bandwidth") -> str:
         data = self.bandwidth if metric == "bandwidth" else self.elapsed_us
         series = [Series(name, values) for name, values in data.items()]
-        x_format = "count" if _KINDS[self.kind][1] else "bytes"
+        x_format = "count" if _KINDS[self.kind] else "bytes"
         return format_table(
             "x", self.x_values, series,
             value_format="{:.1f}", x_format=x_format,
@@ -99,7 +98,6 @@ def run_sweep(config: dict) -> SweepResult:
     """Execute the sweep described by ``config``."""
     _validate_config(config)
     kind = config["kind"]
-    runner, x_is_count = _KINDS[kind]
     machine_cfg = config.get("machine", {})
     dims = tuple(machine_cfg.get("dims", (2, 2, 2)))
     mode = Mode[machine_cfg.get("mode", "quad").upper()]
@@ -118,7 +116,9 @@ def run_sweep(config: dict) -> SweepResult:
             machine = Machine(
                 torus_dims=dims, mode=mode, wrap=wrap
             )
-            measured = runner(machine, algorithm, x, iters=iters)
+            # ``"auto"`` re-selects per x through the section-V table, so
+            # a sweep can plot the selection policy itself as a series.
+            measured = run_collective(machine, kind, algorithm, x, iters=iters)
             bandwidths.append(measured.bandwidth_mbs)
             times.append(measured.elapsed_us)
         result.bandwidth[algorithm] = bandwidths

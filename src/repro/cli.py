@@ -32,31 +32,9 @@ import sys
 from typing import List, Optional
 
 from repro.analysis import predict_torus_bcast, predict_tree_bcast
-from repro.bench import (
-    format_report,
-    run_allgather,
-    run_allreduce,
-    run_bcast,
-    utilization_report,
-)
-from repro.bench.harness import (
-    run_alltoall,
-    run_barrier,
-    run_gather,
-    run_reduce,
-    run_scatter,
-)
-from repro.collectives.registry import (
-    list_allgather_algorithms,
-    list_allreduce_algorithms,
-    list_alltoall_algorithms,
-    list_barrier_algorithms,
-    list_bcast_algorithms,
-    list_gather_algorithms,
-    list_reduce_algorithms,
-    list_scatter_algorithms,
-    select_bcast,
-)
+from repro.bench import format_report, utilization_report
+from repro.bench.harness import run_collective
+from repro.collectives.registry import families, iter_algorithms
 from repro.hardware import BGPParams, Machine, Mode
 from repro.util.units import parse_size
 
@@ -139,12 +117,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("allreduce", help="measure an MPI_Allreduce (doubles)")
     p.add_argument("--count", default="128K",
                    help="element count, e.g. 512K")
-    p.add_argument("--algorithm", default="allreduce-torus-shaddr")
+    p.add_argument("--algorithm", default="allreduce-torus-shaddr",
+                   help="algorithm name or 'auto' (message-size policy)")
     _add_machine_args(p)
 
     p = sub.add_parser("allgather", help="measure an MPI_Allgather")
     p.add_argument("--block", default="64K", help="per-rank block size")
-    p.add_argument("--algorithm", default="allgather-ring-shaddr")
+    p.add_argument("--algorithm", default="allgather-ring-shaddr",
+                   help="algorithm name or 'auto' (block-size policy)")
     _add_machine_args(p)
 
     p = sub.add_parser("gather", help="measure an MPI_Gather (root 0)")
@@ -159,7 +139,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("reduce", help="measure an MPI_Reduce (doubles)")
     p.add_argument("--count", default="128K", help="element count")
-    p.add_argument("--algorithm", default="reduce-torus-shaddr")
+    p.add_argument("--algorithm", default="reduce-torus-shaddr",
+                   help="algorithm name or 'auto' (mode policy)")
     _add_machine_args(p)
 
     p = sub.add_parser("alltoall", help="measure an MPI_Alltoall")
@@ -226,103 +207,46 @@ def _finish(args, machine: Machine, result) -> None:
         print(format_report(utilization_report(machine)))
 
 
+_MODE_NAMES = {1: "smp", 2: "dual", 4: "quad"}
+
+
 def _cmd_list(_args) -> int:
-    print("bcast:")
-    for name in list_bcast_algorithms():
-        print(f"  {name}")
-    print("allreduce:")
-    for name in list_allreduce_algorithms():
-        print(f"  {name}")
-    print("allgather:")
-    for name in list_allgather_algorithms():
-        print(f"  {name}")
-    print("gather:")
-    for name in list_gather_algorithms():
-        print(f"  {name}")
-    print("scatter:")
-    for name in list_scatter_algorithms():
-        print(f"  {name}")
-    print("reduce:")
-    for name in list_reduce_algorithms():
-        print(f"  {name}")
-    print("alltoall:")
-    for name in list_alltoall_algorithms():
-        print(f"  {name}")
-    print("barrier:")
-    for name in list_barrier_algorithms():
-        print(f"  {name}")
+    for family in families():
+        print(f"{family}:")
+        for info in iter_algorithms(family):
+            modes = ",".join(_MODE_NAMES.get(p, str(p)) for p in info.modes)
+            tags = []
+            if info.shared_address:
+                tags.append("shared-address")
+            if not info.data_carrying:
+                tags.append("timing-only")
+            extra = ("  " + " ".join(tags)) if tags else ""
+            print(
+                f"  {info.name:24s} net={info.network:5s} "
+                f"modes={modes}{extra}"
+            )
     return 0
 
 
-def _cmd_bcast(args) -> int:
-    nbytes = parse_size(args.size)
-    name = args.algorithm
-    if name == "auto":
-        name = select_bcast(nbytes, args.mode.processes_per_node)
+#: measurement subcommand -> (family, size-argument attribute)
+_MEASURE_COMMANDS = {
+    "bcast": ("bcast", "size"),
+    "allreduce": ("allreduce", "count"),
+    "allgather": ("allgather", "block"),
+    "gather": ("gather", "block"),
+    "scatter": ("scatter", "block"),
+    "reduce": ("reduce", "count"),
+    "alltoall": ("alltoall", "block"),
+}
+
+
+def _cmd_measure(args) -> int:
+    family, size_attr = _MEASURE_COMMANDS[args.command]
+    x = parse_size(getattr(args, size_attr))  # counts share K/M suffixes
     machine = _machine(args)
-    result = run_bcast(
-        machine, name, nbytes, root=args.root, iters=args.iters,
-        verify=args.verify,
-    )
-    _finish(args, machine, result)
-    return 0
-
-
-def _cmd_allreduce(args) -> int:
-    count = parse_size(args.count)  # counts use the same K/M suffixes
-    machine = _machine(args)
-    result = run_allreduce(
-        machine, args.algorithm, count, iters=args.iters, verify=args.verify
-    )
-    _finish(args, machine, result)
-    return 0
-
-
-def _cmd_allgather(args) -> int:
-    block = parse_size(args.block)
-    machine = _machine(args)
-    result = run_allgather(
-        machine, args.algorithm, block, iters=args.iters, verify=args.verify
-    )
-    _finish(args, machine, result)
-    return 0
-
-
-def _cmd_gather(args) -> int:
-    block = parse_size(args.block)
-    machine = _machine(args)
-    result = run_gather(
-        machine, args.algorithm, block, iters=args.iters, verify=args.verify
-    )
-    _finish(args, machine, result)
-    return 0
-
-
-def _cmd_scatter(args) -> int:
-    block = parse_size(args.block)
-    machine = _machine(args)
-    result = run_scatter(
-        machine, args.algorithm, block, iters=args.iters, verify=args.verify
-    )
-    _finish(args, machine, result)
-    return 0
-
-
-def _cmd_reduce(args) -> int:
-    count = parse_size(args.count)
-    machine = _machine(args)
-    result = run_reduce(
-        machine, args.algorithm, count, iters=args.iters, verify=args.verify
-    )
-    _finish(args, machine, result)
-    return 0
-
-
-def _cmd_alltoall(args) -> int:
-    block = parse_size(args.block)
-    machine = _machine(args)
-    result = run_alltoall(
-        machine, args.algorithm, block, iters=args.iters, verify=args.verify
+    result = run_collective(
+        machine, family, args.algorithm, x,
+        root=getattr(args, "root", 0), iters=args.iters, verify=args.verify,
     )
     _finish(args, machine, result)
     return 0
@@ -330,7 +254,9 @@ def _cmd_alltoall(args) -> int:
 
 def _cmd_barrier(args) -> int:
     machine = _machine(args)
-    result = run_barrier(machine, args.algorithm, iters=args.iters)
+    result = run_collective(
+        machine, "barrier", args.algorithm, iters=args.iters
+    )
     print(f"{result.algorithm}: {result.elapsed_us:.2f} us on "
           f"{result.nprocs} procs")
     if args.profile:
@@ -430,13 +356,7 @@ def _cmd_params(_args) -> int:
 
 _COMMANDS = {
     "list": _cmd_list,
-    "bcast": _cmd_bcast,
-    "allreduce": _cmd_allreduce,
-    "allgather": _cmd_allgather,
-    "gather": _cmd_gather,
-    "scatter": _cmd_scatter,
-    "reduce": _cmd_reduce,
-    "alltoall": _cmd_alltoall,
+    **{name: _cmd_measure for name in _MEASURE_COMMANDS},
     "barrier": _cmd_barrier,
     "pingpong": _cmd_pingpong,
     "predict": _cmd_predict,

@@ -35,19 +35,36 @@ allgather algorithms.
 from repro.collectives.base import (
     BcastInvocation,
     CollectiveResult,
+    InvocationSession,
     ProcContext,
 )
 from repro.collectives.registry import (
-    bcast_algorithm,
-    list_bcast_algorithms,
-    list_allreduce_algorithms,
+    AlgorithmInfo,
     allreduce_algorithm,
+    bcast_algorithm,
+    families,
+    get_algorithm,
+    iter_algorithms,
+    list_algorithms,
+    list_allreduce_algorithms,
+    list_bcast_algorithms,
+    register,
+    select_protocol,
 )
 
 __all__ = [
+    "AlgorithmInfo",
     "BcastInvocation",
     "CollectiveResult",
+    "InvocationSession",
     "ProcContext",
+    "families",
+    "get_algorithm",
+    "iter_algorithms",
+    "list_algorithms",
+    "register",
+    "select_protocol",
+    # deprecated shims
     "bcast_algorithm",
     "allreduce_algorithm",
     "list_bcast_algorithms",

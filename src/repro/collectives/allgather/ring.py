@@ -24,6 +24,7 @@ from typing import Dict, List, Tuple
 
 from repro.collectives.allgather.base import AllgatherInvocation
 from repro.collectives.common import DmaDirectPutDistributor
+from repro.collectives.registry import register
 from repro.msg.color import torus_colors
 from repro.msg.routes import ring_order
 from repro.sim.events import AllOf, Event
@@ -111,6 +112,7 @@ class _RingAllgatherBase(AllgatherInvocation):
         self._on_node_block(node, src_node)
 
 
+@register("allgather")
 class RingCurrentAllgather(_RingAllgatherBase):
     """DMA-staged baseline."""
 
@@ -171,6 +173,7 @@ class RingCurrentAllgather(_RingAllgatherBase):
         yield engine.timeout(params.dma_counter_poll)
 
 
+@register("allgather", shared_address=True)
 class RingShaddrAllgather(_RingAllgatherBase):
     """Shared-address variant with message-counter publication."""
 

@@ -27,8 +27,9 @@ from typing import Dict, List
 
 from repro.collectives.allreduce.base import DOUBLE, AllreduceInvocation
 from repro.collectives.allreduce.ring import RingReduce
-from repro.collectives.common import DmaDirectPutDistributor
 from repro.collectives.bcast.torus_common import TorusBcastNetwork
+from repro.collectives.common import DmaDirectPutDistributor
+from repro.collectives.registry import register
 from repro.msg.color import partition_bytes, torus_colors
 from repro.msg.pipeline import ChunkPlan
 from repro.msg.routes import ring_order
@@ -36,6 +37,7 @@ from repro.sim.events import AllOf
 from repro.sim.sync import SimCounter
 
 
+@register("allreduce")
 class TorusCurrentAllreduce(AllreduceInvocation):
     """Baseline multi-color ring+broadcast allreduce, DMA-driven intra-node."""
 

@@ -25,6 +25,7 @@ from typing import List, Tuple
 from repro.collectives.allreduce.base import DOUBLE, AllreduceInvocation
 from repro.collectives.allreduce.ring import RingReduce
 from repro.collectives.bcast.torus_common import TorusBcastNetwork
+from repro.collectives.registry import register
 from repro.msg.color import partition_bytes, torus_colors
 from repro.msg.pipeline import ChunkPlan
 from repro.msg.routes import ring_order
@@ -32,6 +33,7 @@ from repro.sim.resources import Store
 from repro.sim.sync import SimCounter
 
 
+@register("allreduce", modes=(4,), shared_address=True)
 class TorusShaddrAllreduce(AllreduceInvocation):
     """Core-specialized shared-address allreduce (the 'New' column)."""
 

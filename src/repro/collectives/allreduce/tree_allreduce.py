@@ -14,10 +14,12 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.collectives.allreduce.base import AllreduceInvocation
+from repro.collectives.registry import register
 from repro.hardware.tree import TreeOperation
 from repro.sim.events import AllOf, Event
 
 
+@register("allreduce")
 class TreeAllreduce(AllreduceInvocation):
     """Short-message allreduce through the combining tree."""
 

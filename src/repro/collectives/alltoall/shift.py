@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.collectives.alltoall.base import AlltoallInvocation
+from repro.collectives.registry import register
 from repro.msg.color import torus_colors
 from repro.sim.events import AllOf, Event
 from repro.sim.sync import SimCounter
@@ -108,6 +109,7 @@ class _ShiftAlltoallBase(AlltoallInvocation):
             self.rank_blocks[dst_rank].add(ppn)
 
 
+@register("alltoall")
 class ShiftCurrentAlltoall(_ShiftAlltoallBase):
     """Baseline: DMA stages outgoing sets and direct-puts arrivals."""
 
@@ -144,6 +146,7 @@ class ShiftCurrentAlltoall(_ShiftAlltoallBase):
         self._mark_delivered(src_node, node)
 
 
+@register("alltoall", shared_address=True)
 class ShiftShaddrAlltoall(_ShiftAlltoallBase):
     """Proposed: mapped in-place reads out, counter-published copies in."""
 

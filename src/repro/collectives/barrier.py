@@ -24,6 +24,7 @@ import math
 from typing import Dict, List
 
 from repro.collectives.base import InvocationBase
+from repro.collectives.registry import register
 from repro.hardware.machine import Machine
 from repro.sim.events import Event
 from repro.sim.sync import SimBarrier, SimCounter
@@ -41,6 +42,7 @@ class BarrierInvocation(InvocationBase):
         the tests check from the recorded release times."""
 
 
+@register("barrier", data_carrying=False)
 class GiBarrier(BarrierInvocation):
     """The global-interrupt-network hardware barrier."""
 
@@ -61,6 +63,7 @@ class GiBarrier(BarrierInvocation):
         yield self._barrier.wait()
 
 
+@register("barrier", data_carrying=False)
 class TreeBarrier(BarrierInvocation):
     """A one-packet combining-tree barrier."""
 
@@ -108,6 +111,7 @@ class TreeBarrier(BarrierInvocation):
             yield engine.timeout(params.flag_cost)
 
 
+@register("barrier", data_carrying=False)
 class TorusDisseminationBarrier(BarrierInvocation):
     """Dissemination barrier over the torus (log2 N rounds of packets)."""
 

@@ -43,7 +43,14 @@ class CollectiveResult:
 
     @property
     def bandwidth_mbs(self) -> float:
-        """Throughput in MB/s, as in the paper's bandwidth figures."""
+        """Throughput in MB/s, as in the paper's bandwidth figures.
+
+        Zero-byte collectives (a barrier, an empty broadcast) and
+        zero-elapsed runs move no measurable bytes per second: 0.0, not a
+        ZeroDivisionError.
+        """
+        if self.nbytes <= 0 or self.elapsed_us <= 0:
+            return 0.0
         return bandwidth_mbs(self.nbytes, self.elapsed_us)
 
     def __str__(self) -> str:
@@ -51,6 +58,27 @@ class CollectiveResult:
             f"{self.algorithm}: {self.nbytes} B in {self.elapsed_us:.2f} us "
             f"({self.bandwidth_mbs:.1f} MB/s) on {self.nprocs} procs"
         )
+
+
+class InvocationSession:
+    """Window-service lifecycle shared across repeated invocations.
+
+    The Fig-8 "caching" behaviour: shared-address mapping caches live in
+    per-rank :class:`ProcessWindows` services, and those services must
+    persist across the iterations of a measurement loop so only the first
+    iteration pays mapping system calls.  A session owns that per-rank
+    dict; :meth:`adopt` installs it into each fresh invocation, so every
+    invocation adopted by the same session sees (and extends) the same
+    caches.
+    """
+
+    def __init__(self) -> None:
+        self.windows_by_rank: Dict[int, "ProcessWindows"] = {}
+
+    def adopt(self, invocation: "InvocationBase") -> "InvocationBase":
+        """Install this session's window services into ``invocation``."""
+        invocation.install_windows(self.windows_by_rank)
+        return invocation
 
 
 class ProcContext:
@@ -90,7 +118,7 @@ class InvocationBase:
                  window_caching: bool = True):
         if nbytes < 0:
             raise ValueError(f"nbytes must be >= 0, got {nbytes}")
-        machine._check_rank(root)
+        machine.check_rank(root)
         self.machine = machine
         self.root = root
         self.nbytes = nbytes
@@ -139,6 +167,11 @@ class InvocationBase:
     @property
     def windows_by_rank(self) -> Dict[int, ProcessWindows]:
         return self._windows
+
+    @staticmethod
+    def session() -> InvocationSession:
+        """Start an :class:`InvocationSession` (Fig-8 cache lifecycle)."""
+        return InvocationSession()
 
 
 class BcastInvocation(InvocationBase):

@@ -21,9 +21,11 @@ from typing import Dict
 from repro.collectives.base import BcastInvocation
 from repro.collectives.bcast.torus_common import TorusBcastNetwork
 from repro.collectives.common import DmaDirectPutDistributor
+from repro.collectives.registry import register
 from repro.sim.sync import SimCounter
 
 
+@register("bcast")
 class TorusDirectPutBcast(BcastInvocation):
     """Quad-mode baseline: DMA direct put for the intra-node dimension."""
 
@@ -75,6 +77,7 @@ class TorusDirectPutBcast(BcastInvocation):
         )
 
 
+@register("bcast", modes=(1,))
 class TorusDirectPutSmpBcast(TorusDirectPutBcast):
     """SMP-mode reference: one process per node, so the inherited intra-node
     loop over peers is empty and the DMA only serves the network — the peak

@@ -33,11 +33,13 @@ from typing import List
 
 from repro.collectives.base import BcastInvocation
 from repro.collectives.bcast.torus_common import TorusBcastNetwork
+from repro.collectives.registry import register
 from repro.msg.pipeline import split_chunks
 from repro.sim.resources import Store
 from repro.sim.sync import SimCounter
 
 
+@register("bcast")
 class TorusFifoBcast(BcastInvocation):
     """Quad-mode broadcast with the concurrent Bcast FIFO intra-node."""
 

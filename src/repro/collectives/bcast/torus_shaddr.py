@@ -28,10 +28,12 @@ from typing import List, Tuple
 
 from repro.collectives.base import BcastInvocation
 from repro.collectives.bcast.torus_common import TorusBcastNetwork
+from repro.collectives.registry import register
 from repro.sim.resources import Store
 from repro.sim.sync import SimCounter
 
 
+@register("bcast", shared_address=True)
 class TorusShaddrBcast(BcastInvocation):
     """Quad-mode broadcast over shared address space + message counters."""
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.collectives.base import BcastInvocation
+from repro.collectives.registry import register
 from repro.hardware.tree import TreeOperation
 from repro.sim.events import Event
 
@@ -106,6 +107,7 @@ class _TreeDmaBase(BcastInvocation):
                 offset += size
 
 
+@register("bcast", modes=(2, 4))
 class TreeDmaFifoBcast(_TreeDmaBase):
     """Current approach: DMA to reception memory FIFOs (+ core copy out)."""
 
@@ -113,6 +115,7 @@ class TreeDmaFifoBcast(_TreeDmaBase):
     use_memory_fifo = True
 
 
+@register("bcast", modes=(2, 4))
 class TreeDmaDirectPutBcast(_TreeDmaBase):
     """Current approach: DMA direct put into peers' application buffers."""
 

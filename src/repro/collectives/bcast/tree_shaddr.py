@@ -22,10 +22,12 @@ from __future__ import annotations
 from typing import List
 
 from repro.collectives.base import BcastInvocation
+from repro.collectives.registry import register
 from repro.hardware.tree import TreeOperation
 from repro.sim.sync import SimCounter
 
 
+@register("bcast", modes=(4,), shared_address=True)
 class TreeShaddrBcast(BcastInvocation):
     """Quad-mode core-specialized broadcast over mapped application buffers."""
 

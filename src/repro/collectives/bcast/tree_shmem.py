@@ -18,11 +18,13 @@ from __future__ import annotations
 from typing import List
 
 from repro.collectives.base import BcastInvocation
+from repro.collectives.registry import register
 from repro.hardware.tree import TreeOperation
 from repro.kernel.shmem import SharedSegment
 from repro.sim.sync import SimCounter
 
 
+@register("bcast", modes=(2, 4))
 class TreeShmemBcast(BcastInvocation):
     """Quad-mode latency-optimized broadcast through a shared segment."""
 

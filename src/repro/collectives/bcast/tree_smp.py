@@ -20,10 +20,12 @@ from __future__ import annotations
 from typing import List
 
 from repro.collectives.base import BcastInvocation
+from repro.collectives.registry import register
 from repro.hardware.tree import TreeOperation
 from repro.sim.events import Event
 
 
+@register("bcast", modes=(1,))
 class TreeSmpBcast(BcastInvocation):
     """SMP-mode hardware broadcast (main thread + helper comm thread)."""
 

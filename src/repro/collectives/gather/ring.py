@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.collectives.gather.base import GatherInvocation
+from repro.collectives.registry import register
 from repro.msg.color import torus_colors
 from repro.msg.routes import ring_order
 from repro.sim.events import AllOf, Event
@@ -131,6 +132,7 @@ class _RingGatherBase(GatherInvocation):
         raise NotImplementedError
 
 
+@register("gather")
 class RingCurrentGather(_RingGatherBase):
     """Baseline: DMA stages the peers' blocks before sending."""
 
@@ -147,6 +149,7 @@ class RingCurrentGather(_RingGatherBase):
             yield AllOf(machine.engine, [f.event for f in flows])
 
 
+@register("gather", shared_address=True)
 class RingShaddrGather(_RingGatherBase):
     """Proposed: send in place from mapped peer buffers (no staging)."""
 

@@ -12,6 +12,7 @@ from typing import List
 
 from repro.collectives.allreduce.ring import RingReduce
 from repro.collectives.reduce.base import DOUBLE, ReduceInvocation
+from repro.collectives.registry import register
 from repro.msg.color import partition_bytes, torus_colors
 from repro.msg.pipeline import ChunkPlan
 from repro.msg.routes import ring_order
@@ -115,6 +116,7 @@ class _TorusReduceBase(ReduceInvocation):
         yield  # pragma: no cover
 
 
+@register("reduce")
 class TorusCurrentReduce(_TorusReduceBase):
     """Baseline: DMA-staged local reduction + memory-FIFO ring receptions."""
 
@@ -174,6 +176,7 @@ class TorusCurrentReduce(_TorusReduceBase):
             self.contrib_ready[c][node].add(size)
 
 
+@register("reduce", modes=(4,), shared_address=True)
 class TorusShaddrReduce(_TorusReduceBase):
     """Proposed: worker cores reduce mapped buffers in place, one color each."""
 

@@ -1,245 +1,275 @@
-"""Algorithm registry: names -> invocation classes, plus auto-selection.
+"""One registry for every collective algorithm, with capability metadata.
 
-The BG/P stack glues its algorithms into MPICH through CCMI and picks a
-protocol by message size ("depending on the message size, either the Torus
-or the Collective network based algorithms perform optimally", section V).
-``select_bcast`` implements that policy for the proposed algorithm set.
+The BG/P stack glues its algorithms into MPICH through a single CCMI
+layer; this module is that layer's reproduction-side analogue.  Each
+invocation class self-registers at import time via the :func:`register`
+decorator, tagging itself with capability metadata (family, network,
+supported ppn modes, whether it can carry payload bytes, whether it
+needs shared-address window mappings).  Lookup goes through exactly two
+functions:
+
+* :func:`get_algorithm`\\ ``(family, name)`` -> invocation class
+* :func:`list_algorithms`\\ ``(family)`` -> sorted names
+
+plus :func:`algorithm_info` / :func:`iter_algorithms` for the metadata
+itself.  Family modules are imported lazily on first lookup, so import
+order stays simple and ``import repro`` stays cheap.
+
+Protocol selection (the message-size policy of section V) lives in
+:mod:`repro.collectives.selection`; :func:`select_protocol` is re-exported
+here for convenience.
+
+The historical per-family helpers (``bcast_algorithm``,
+``list_bcast_algorithms``, ``select_bcast``, ...) survive as thin
+deprecated shims at the bottom of this module.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Type
+import importlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Type
 
-from repro.collectives.base import BcastInvocation
-from repro.util.units import KIB
+from repro.collectives.selection import select_protocol, selectable_families
 
+__all__ = [
+    "ALL_MODES",
+    "AlgorithmInfo",
+    "register",
+    "get_algorithm",
+    "list_algorithms",
+    "algorithm_info",
+    "iter_algorithms",
+    "families",
+    "select_protocol",
+    "selectable_families",
+]
 
-def _bcast_classes() -> Dict[str, Type[BcastInvocation]]:
-    # Imported lazily to keep module import order simple.
-    from repro.collectives.bcast import (
-        TorusDirectPutBcast,
-        TorusDirectPutSmpBcast,
-        TorusFifoBcast,
-        TorusShaddrBcast,
-        TreeDmaDirectPutBcast,
-        TreeDmaFifoBcast,
-        TreeShaddrBcast,
-        TreeShmemBcast,
-        TreeSmpBcast,
-    )
+#: every ppn a BG/P node supports (SMP / DUAL / QUAD)
+ALL_MODES: Tuple[int, ...] = (1, 2, 4)
 
-    classes = [
-        TorusDirectPutBcast,
-        TorusDirectPutSmpBcast,
-        TorusFifoBcast,
-        TorusShaddrBcast,
-        TreeSmpBcast,
-        TreeDmaFifoBcast,
-        TreeDmaDirectPutBcast,
-        TreeShmemBcast,
-        TreeShaddrBcast,
-    ]
-    return {cls.name: cls for cls in classes}
-
-
-def _allreduce_classes() -> Dict[str, type]:
-    from repro.collectives.allreduce import (
-        TorusCurrentAllreduce,
-        TorusShaddrAllreduce,
-        TreeAllreduce,
-    )
-
-    classes = [TorusCurrentAllreduce, TorusShaddrAllreduce, TreeAllreduce]
-    return {cls.name: cls for cls in classes}
+#: family -> module whose import registers the family's algorithms
+_FAMILY_MODULES: Dict[str, str] = {
+    "bcast": "repro.collectives.bcast",
+    "allreduce": "repro.collectives.allreduce",
+    "allgather": "repro.collectives.allgather",
+    "alltoall": "repro.collectives.alltoall",
+    "barrier": "repro.collectives.barrier",
+    "gather": "repro.collectives.gather",
+    "reduce": "repro.collectives.reduce",
+    "scatter": "repro.collectives.scatter",
+}
 
 
-def _allgather_classes() -> Dict[str, type]:
-    from repro.collectives.allgather import (
-        RingCurrentAllgather,
-        RingShaddrAllgather,
-    )
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """Capability record of one registered algorithm."""
 
-    classes = [RingCurrentAllgather, RingShaddrAllgather]
-    return {cls.name: cls for cls in classes}
+    family: str
+    name: str
+    cls: type = field(repr=False)
+    #: the wire it rides: "torus", "tree" or "gi"
+    network: str
+    #: ppn values the constructor accepts
+    modes: Tuple[int, ...]
+    #: can carry real payload bytes for bit-exact verification
+    data_carrying: bool
+    #: needs kernel shared-address window mappings (Fig-8 lifecycle)
+    shared_address: bool
+
+    def supports_ppn(self, ppn: int) -> bool:
+        return ppn in self.modes
 
 
-def _alltoall_classes() -> Dict[str, type]:
-    from repro.collectives.alltoall import (
-        ShiftCurrentAlltoall,
-        ShiftShaddrAlltoall,
-    )
-
-    classes = [ShiftCurrentAlltoall, ShiftShaddrAlltoall]
-    return {cls.name: cls for cls in classes}
+_REGISTRY: Dict[str, Dict[str, AlgorithmInfo]] = {}
 
 
-def alltoall_algorithm(name: str) -> type:
-    """Look up an alltoall algorithm class by registry name."""
-    classes = _alltoall_classes()
-    if name not in classes:
-        raise KeyError(
-            f"unknown alltoall algorithm {name!r}; known: {sorted(classes)}"
+def register(
+    family: str,
+    *,
+    modes: Sequence[int] = ALL_MODES,
+    data_carrying: bool = True,
+    shared_address: bool = False,
+):
+    """Class decorator: add an invocation class to the registry.
+
+    The class must define ``name`` (the registry key) and ``network``.
+    ``modes`` lists the ppn values its constructor accepts;
+    ``shared_address`` marks schemes that map peer windows (and thus
+    benefit from the Fig-8 caching session); ``data_carrying=False``
+    marks synchronisation-only collectives (barrier).
+    """
+    if family not in _FAMILY_MODULES:
+        raise ValueError(
+            f"unknown collective family {family!r}; "
+            f"known: {sorted(_FAMILY_MODULES)}"
         )
-    return classes[name]
 
-
-def list_alltoall_algorithms() -> List[str]:
-    """All registered alltoall algorithm names."""
-    return sorted(_alltoall_classes())
-
-
-def _barrier_classes() -> Dict[str, type]:
-    from repro.collectives.barrier import (
-        GiBarrier,
-        TorusDisseminationBarrier,
-        TreeBarrier,
-    )
-
-    classes = [GiBarrier, TreeBarrier, TorusDisseminationBarrier]
-    return {cls.name: cls for cls in classes}
-
-
-def barrier_algorithm(name: str) -> type:
-    """Look up a barrier algorithm class by registry name."""
-    classes = _barrier_classes()
-    if name not in classes:
-        raise KeyError(
-            f"unknown barrier algorithm {name!r}; known: {sorted(classes)}"
+    def decorate(cls: type) -> type:
+        name = getattr(cls, "name", None)
+        if not name or name == "?":
+            raise ValueError(
+                f"{cls.__name__} must define a registry `name` attribute"
+            )
+        network = getattr(cls, "network", None)
+        if not network or network == "?":
+            raise ValueError(
+                f"{cls.__name__} must define a `network` attribute"
+            )
+        info = AlgorithmInfo(
+            family=family,
+            name=name,
+            cls=cls,
+            network=network,
+            modes=tuple(modes),
+            data_carrying=data_carrying,
+            shared_address=shared_address,
         )
-    return classes[name]
+        bucket = _REGISTRY.setdefault(family, {})
+        previous = bucket.get(name)
+        if previous is not None and previous.cls is not cls:
+            raise ValueError(
+                f"duplicate registration for {family}/{name}: "
+                f"{previous.cls.__name__} vs {cls.__name__}"
+            )
+        bucket[name] = info
+        cls.capabilities = info
+        return cls
+
+    return decorate
 
 
-def list_barrier_algorithms() -> List[str]:
-    """All registered barrier algorithm names."""
-    return sorted(_barrier_classes())
-
-
-def _scatter_classes() -> Dict[str, type]:
-    from repro.collectives.scatter import (
-        RingCurrentScatter,
-        RingShaddrScatter,
-    )
-
-    classes = [RingCurrentScatter, RingShaddrScatter]
-    return {cls.name: cls for cls in classes}
-
-
-def scatter_algorithm(name: str) -> type:
-    """Look up a scatter algorithm class by registry name."""
-    classes = _scatter_classes()
-    if name not in classes:
+def _family_bucket(family: str) -> Dict[str, AlgorithmInfo]:
+    if family not in _FAMILY_MODULES:
         raise KeyError(
-            f"unknown scatter algorithm {name!r}; known: {sorted(classes)}"
+            f"unknown collective family {family!r}; "
+            f"known: {sorted(_FAMILY_MODULES)}"
         )
-    return classes[name]
+    # Importing the family module runs its @register decorators.
+    importlib.import_module(_FAMILY_MODULES[family])
+    return _REGISTRY.setdefault(family, {})
 
 
-def list_scatter_algorithms() -> List[str]:
-    """All registered scatter algorithm names."""
-    return sorted(_scatter_classes())
+def families() -> List[str]:
+    """All collective families the registry knows."""
+    return sorted(_FAMILY_MODULES)
 
 
-def _reduce_classes() -> Dict[str, type]:
-    from repro.collectives.reduce import TorusCurrentReduce, TorusShaddrReduce
-
-    classes = [TorusCurrentReduce, TorusShaddrReduce]
-    return {cls.name: cls for cls in classes}
-
-
-def reduce_algorithm(name: str) -> type:
-    """Look up a reduce algorithm class by registry name."""
-    classes = _reduce_classes()
-    if name not in classes:
+def algorithm_info(family: str, name: str) -> AlgorithmInfo:
+    """The :class:`AlgorithmInfo` for one registered algorithm."""
+    bucket = _family_bucket(family)
+    if name not in bucket:
         raise KeyError(
-            f"unknown reduce algorithm {name!r}; known: {sorted(classes)}"
+            f"unknown {family} algorithm {name!r}; known: {sorted(bucket)}"
         )
-    return classes[name]
+    return bucket[name]
 
 
-def list_reduce_algorithms() -> List[str]:
-    """All registered reduce algorithm names."""
-    return sorted(_reduce_classes())
+def get_algorithm(family: str, name: str) -> type:
+    """Look up an algorithm class by family and registry name."""
+    return algorithm_info(family, name).cls
 
 
-def _gather_classes() -> Dict[str, type]:
-    from repro.collectives.gather import RingCurrentGather, RingShaddrGather
-
-    classes = [RingCurrentGather, RingShaddrGather]
-    return {cls.name: cls for cls in classes}
+def list_algorithms(family: str) -> List[str]:
+    """Sorted registry names of one family."""
+    return sorted(_family_bucket(family))
 
 
-def gather_algorithm(name: str) -> type:
-    """Look up a gather algorithm class by registry name."""
-    classes = _gather_classes()
-    if name not in classes:
-        raise KeyError(
-            f"unknown gather algorithm {name!r}; known: {sorted(classes)}"
-        )
-    return classes[name]
+def iter_algorithms(family: Optional[str] = None) -> List[AlgorithmInfo]:
+    """Capability records, for one family or (sorted) for all of them."""
+    picked = [family] if family is not None else families()
+    out: List[AlgorithmInfo] = []
+    for fam in picked:
+        bucket = _family_bucket(fam)
+        out.extend(bucket[name] for name in sorted(bucket))
+    return out
 
 
-def list_gather_algorithms() -> List[str]:
-    """All registered gather algorithm names."""
-    return sorted(_gather_classes())
+# -- deprecated shims ---------------------------------------------------
+# The pre-registry public surface.  Each is a frozen 1:1 forwarding of the
+# old signature; new code should call get_algorithm / list_algorithms /
+# select_protocol directly.
 
-
-def allgather_algorithm(name: str) -> type:
-    """Look up an allgather algorithm class by registry name."""
-    classes = _allgather_classes()
-    if name not in classes:
-        raise KeyError(
-            f"unknown allgather algorithm {name!r}; known: {sorted(classes)}"
-        )
-    return classes[name]
-
-
-def list_allgather_algorithms() -> List[str]:
-    """All registered allgather algorithm names."""
-    return sorted(_allgather_classes())
-
-
-def bcast_algorithm(name: str) -> Type[BcastInvocation]:
-    """Look up a broadcast algorithm class by registry name."""
-    classes = _bcast_classes()
-    if name not in classes:
-        raise KeyError(
-            f"unknown bcast algorithm {name!r}; known: {sorted(classes)}"
-        )
-    return classes[name]
-
-
-def allreduce_algorithm(name: str) -> type:
-    """Look up an allreduce algorithm class by registry name."""
-    classes = _allreduce_classes()
-    if name not in classes:
-        raise KeyError(
-            f"unknown allreduce algorithm {name!r}; known: {sorted(classes)}"
-        )
-    return classes[name]
+def bcast_algorithm(name: str) -> Type:
+    """Deprecated: use ``get_algorithm("bcast", name)``."""
+    return get_algorithm("bcast", name)
 
 
 def list_bcast_algorithms() -> List[str]:
-    """All registered broadcast algorithm names."""
-    return sorted(_bcast_classes())
+    """Deprecated: use ``list_algorithms("bcast")``."""
+    return list_algorithms("bcast")
+
+
+def allreduce_algorithm(name: str) -> type:
+    """Deprecated: use ``get_algorithm("allreduce", name)``."""
+    return get_algorithm("allreduce", name)
 
 
 def list_allreduce_algorithms() -> List[str]:
-    """All registered allreduce algorithm names."""
-    return sorted(_allreduce_classes())
+    """Deprecated: use ``list_algorithms("allreduce")``."""
+    return list_algorithms("allreduce")
+
+
+def allgather_algorithm(name: str) -> type:
+    """Deprecated: use ``get_algorithm("allgather", name)``."""
+    return get_algorithm("allgather", name)
+
+
+def list_allgather_algorithms() -> List[str]:
+    """Deprecated: use ``list_algorithms("allgather")``."""
+    return list_algorithms("allgather")
+
+
+def alltoall_algorithm(name: str) -> type:
+    """Deprecated: use ``get_algorithm("alltoall", name)``."""
+    return get_algorithm("alltoall", name)
+
+
+def list_alltoall_algorithms() -> List[str]:
+    """Deprecated: use ``list_algorithms("alltoall")``."""
+    return list_algorithms("alltoall")
+
+
+def barrier_algorithm(name: str) -> type:
+    """Deprecated: use ``get_algorithm("barrier", name)``."""
+    return get_algorithm("barrier", name)
+
+
+def list_barrier_algorithms() -> List[str]:
+    """Deprecated: use ``list_algorithms("barrier")``."""
+    return list_algorithms("barrier")
+
+
+def gather_algorithm(name: str) -> type:
+    """Deprecated: use ``get_algorithm("gather", name)``."""
+    return get_algorithm("gather", name)
+
+
+def list_gather_algorithms() -> List[str]:
+    """Deprecated: use ``list_algorithms("gather")``."""
+    return list_algorithms("gather")
+
+
+def reduce_algorithm(name: str) -> type:
+    """Deprecated: use ``get_algorithm("reduce", name)``."""
+    return get_algorithm("reduce", name)
+
+
+def list_reduce_algorithms() -> List[str]:
+    """Deprecated: use ``list_algorithms("reduce")``."""
+    return list_algorithms("reduce")
+
+
+def scatter_algorithm(name: str) -> type:
+    """Deprecated: use ``get_algorithm("scatter", name)``."""
+    return get_algorithm("scatter", name)
+
+
+def list_scatter_algorithms() -> List[str]:
+    """Deprecated: use ``list_algorithms("scatter")``."""
+    return list_algorithms("scatter")
 
 
 def select_bcast(nbytes: int, ppn: int) -> str:
-    """Message-size-based protocol selection (the proposed algorithm set).
-
-    Short messages take the latency-optimized shared-memory tree scheme;
-    medium messages the core-specialized shared-address tree scheme; large
-    messages move to the torus where six links beat the single tree link.
-    SMP mode has no intra-node stage and uses the plain hardware protocols.
-    """
-    if ppn == 1:
-        return "tree-smp" if nbytes <= 256 * KIB else "torus-direct-put-smp"
-    if nbytes <= 8 * KIB:
-        return "tree-shmem"
-    if nbytes <= 256 * KIB:
-        return "tree-shaddr"
-    return "torus-shaddr"
+    """Deprecated: use ``select_protocol("bcast", nbytes, ppn)``."""
+    return select_protocol("bcast", nbytes, ppn)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from repro.collectives.registry import register
 from repro.collectives.scatter.base import ScatterInvocation
 from repro.msg.color import torus_colors
 from repro.msg.routes import ring_order
@@ -106,6 +107,7 @@ class _RingScatterBase(ScatterInvocation):
         raise NotImplementedError
 
 
+@register("scatter")
 class RingCurrentScatter(_RingScatterBase):
     """Baseline: the DMA direct-puts each peer's sub-block."""
 
@@ -146,6 +148,7 @@ class RingCurrentScatter(_RingScatterBase):
         self.rank_done[peer].trigger(None)
 
 
+@register("scatter", shared_address=True)
 class RingShaddrScatter(_RingScatterBase):
     """Proposed: peers copy their sub-block from the master's mapped buffer."""
 

@@ -1,0 +1,115 @@
+"""Data-driven protocol selection (the paper's CCMI-style policy).
+
+The BG/P stack picks a protocol per collective by message size and mode
+("depending on the message size, either the Torus or the Collective
+network based algorithms perform optimally", section V).  Instead of one
+hand-written ``if`` ladder per collective, the policy lives in a single
+table: per family, a list of mode rules, each carrying ordered
+``(max_nbytes, algorithm)`` crossovers.
+
+Semantics
+---------
+
+* A rule matches when the caller's ``ppn`` is in its mode tuple; ``None``
+  is a wildcard that matches any remaining ppn (rules are tried in
+  order).
+* Within a rule, the first crossover with ``nbytes <= max_nbytes`` wins;
+  ``None`` means "no upper bound" and terminates the ladder.
+* ``nbytes`` is the family's natural size argument expressed in bytes:
+  the message size for bcast, ``count * 8`` for the double-sum
+  reductions, the per-rank block size for allgather.
+
+The bcast column reproduces the historical ``select_bcast`` exactly:
+short messages take the latency-optimized shared-memory tree scheme,
+medium messages the core-specialized shared-address tree scheme, large
+messages move to the torus where six links beat the single tree link;
+SMP mode has no intra-node stage and uses the plain hardware protocols.
+The allreduce and reduce columns encode section V-C (the shared-address
+torus schemes are quad-mode algorithms and need large messages to
+amortize the reduce-scatter pipeline); the allgather column follows the
+section VII extension (the shared-address ring pays window mapping, so
+tiny blocks stay on the current DMA scheme).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.units import KIB
+
+#: one crossover: (inclusive upper bound in bytes or None, algorithm name)
+Crossover = Tuple[Optional[int], str]
+#: one mode rule: (ppn values or None = any remaining, crossover ladder)
+ModeRule = Tuple[Optional[Tuple[int, ...]], Tuple[Crossover, ...]]
+
+#: family -> ordered mode rules (first matching ppn wins)
+SELECTION_TABLE: Dict[str, Tuple[ModeRule, ...]] = {
+    "bcast": (
+        ((1,), (
+            (256 * KIB, "tree-smp"),
+            (None, "torus-direct-put-smp"),
+        )),
+        (None, (
+            (8 * KIB, "tree-shmem"),
+            (256 * KIB, "tree-shaddr"),
+            (None, "torus-shaddr"),
+        )),
+    ),
+    "allreduce": (
+        ((4,), (
+            (64 * KIB, "allreduce-tree"),
+            (None, "allreduce-torus-shaddr"),
+        )),
+        (None, (
+            (None, "allreduce-tree"),
+        )),
+    ),
+    "allgather": (
+        ((1,), (
+            (None, "allgather-ring-current"),
+        )),
+        (None, (
+            (8 * KIB, "allgather-ring-current"),
+            (None, "allgather-ring-shaddr"),
+        )),
+    ),
+    "reduce": (
+        ((4,), (
+            (None, "reduce-torus-shaddr"),
+        )),
+        (None, (
+            (None, "reduce-torus-current"),
+        )),
+    ),
+}
+
+
+def selectable_families() -> List[str]:
+    """Families with a selection policy (``select_protocol`` targets)."""
+    return sorted(SELECTION_TABLE)
+
+
+def select_protocol(family: str, nbytes: int, ppn: int) -> str:
+    """Pick the algorithm name for ``family`` at ``nbytes`` under ``ppn``.
+
+    Walks :data:`SELECTION_TABLE`; see the module docstring for the
+    table's matching semantics.
+    """
+    if family not in SELECTION_TABLE:
+        raise KeyError(
+            f"no selection policy for family {family!r}; "
+            f"known: {selectable_families()}"
+        )
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+    if ppn < 1:
+        raise ValueError(f"ppn must be >= 1, got {ppn}")
+    for modes, ladder in SELECTION_TABLE[family]:
+        if modes is not None and ppn not in modes:
+            continue
+        for max_nbytes, algorithm in ladder:
+            if max_nbytes is None or nbytes <= max_nbytes:
+                return algorithm
+    raise AssertionError(
+        f"selection table for {family!r} has no terminal rule"
+    )  # pragma: no cover - table invariant

@@ -76,12 +76,12 @@ class Machine:
     # -- rank mapping ----------------------------------------------------
     def rank_to_node(self, rank: int) -> int:
         """MPI rank -> node index (node-major mapping)."""
-        self._check_rank(rank)
+        self.check_rank(rank)
         return rank // self.ppn
 
     def rank_to_local(self, rank: int) -> int:
         """MPI rank -> local rank on its node (0..ppn-1)."""
-        self._check_rank(rank)
+        self.check_rank(rank)
         return rank % self.ppn
 
     def node_ranks(self, node_index: int) -> List[int]:
@@ -91,9 +91,14 @@ class Machine:
         base = node_index * self.ppn
         return list(range(base, base + self.ppn))
 
-    def _check_rank(self, rank: int) -> None:
+    def check_rank(self, rank: int) -> None:
+        """Validate an MPI rank against this machine (raises ValueError)."""
         if not 0 <= rank < self.nprocs:
             raise ValueError(f"rank out of range: {rank} (nprocs={self.nprocs})")
+
+    #: deprecated private spelling, kept for callers that predate the
+    #: public name
+    _check_rank = check_rank
 
     # -- configuration ----------------------------------------------------
     def set_working_set(self, nbytes: int) -> MemoryRegime:

@@ -19,21 +19,9 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
-from repro.bench.harness import (
-    run_allgather,
-    run_allreduce,
-    run_alltoall,
-    run_barrier,
-    run_bcast,
-    run_gather,
-    run_reduce,
-    run_scatter,
-)
+from repro.bench.harness import run_collective
 from repro.collectives.base import CollectiveResult
-from repro.collectives.registry import (
-    list_bcast_algorithms,
-    select_bcast,
-)
+from repro.collectives.registry import list_algorithms
 from repro.hardware.machine import Machine
 from repro.mpi.datatypes import DOUBLE, Datatype
 from repro.mpi.ops import SUM, ReduceOp
@@ -63,20 +51,16 @@ class Communicator:
     ) -> CollectiveResult:
         """Measure an ``MPI_Bcast`` of ``nbytes`` (int or ``"128K"`` style).
 
-        ``algorithm="auto"`` applies the BG/P message-size selection policy;
-        any registered name (see :func:`available_bcast_algorithms`) forces
-        a specific scheme.
+        ``algorithm="auto"`` applies the BG/P message-size selection policy
+        (the section-V table in :mod:`repro.collectives.selection`); any
+        registered name (see :func:`available_bcast_algorithms`) forces a
+        specific scheme.
         """
-        size = parse_size(nbytes)
-        name = (
-            select_bcast(size, self.machine.ppn)
-            if algorithm == "auto"
-            else algorithm
-        )
-        return run_bcast(
+        return run_collective(
             self.machine,
-            name,
-            size,
+            "bcast",
+            algorithm,
+            parse_size(nbytes),
             root=root,
             iters=iters,
             verify=verify,
@@ -108,17 +92,10 @@ class Communicator:
                 )
             # Timing model: scale to the byte volume of doubles.
             count = max(1, count * dtype.itemsize // DOUBLE.itemsize)
-        name = algorithm
-        if algorithm == "auto":
-            nbytes = count * DOUBLE.itemsize
-            name = (
-                "allreduce-tree"
-                if nbytes <= 64 * 1024 or self.machine.ppn != 4
-                else "allreduce-torus-shaddr"
-            )
-        return run_allreduce(
+        return run_collective(
             self.machine,
-            name,
+            "allreduce",
+            algorithm,
             count,
             iters=iters,
             verify=verify,
@@ -134,15 +111,9 @@ class Communicator:
         window_caching: bool = True,
     ) -> CollectiveResult:
         """Measure an ``MPI_Reduce`` (sum of doubles to rank 0)."""
-        if algorithm == "auto":
-            algorithm = (
-                "reduce-torus-shaddr"
-                if self.machine.ppn == 4
-                else "reduce-torus-current"
-            )
-        return run_reduce(
-            self.machine, algorithm, count, iters=iters, verify=verify,
-            window_caching=window_caching,
+        return run_collective(
+            self.machine, "reduce", algorithm, count, iters=iters,
+            verify=verify, window_caching=window_caching,
         )
 
     def gather(
@@ -153,9 +124,9 @@ class Communicator:
         verify: bool = False,
     ) -> CollectiveResult:
         """Measure an ``MPI_Gather`` to rank 0."""
-        return run_gather(
-            self.machine, algorithm, parse_size(block_bytes), iters=iters,
-            verify=verify,
+        return run_collective(
+            self.machine, "gather", algorithm, parse_size(block_bytes),
+            iters=iters, verify=verify,
         )
 
     def scatter(
@@ -166,9 +137,9 @@ class Communicator:
         verify: bool = False,
     ) -> CollectiveResult:
         """Measure an ``MPI_Scatter`` from rank 0."""
-        return run_scatter(
-            self.machine, algorithm, parse_size(block_bytes), iters=iters,
-            verify=verify,
+        return run_collective(
+            self.machine, "scatter", algorithm, parse_size(block_bytes),
+            iters=iters, verify=verify,
         )
 
     def allgather(
@@ -178,10 +149,14 @@ class Communicator:
         iters: int = 1,
         verify: bool = False,
     ) -> CollectiveResult:
-        """Measure an ``MPI_Allgather``."""
-        return run_allgather(
-            self.machine, algorithm, parse_size(block_bytes), iters=iters,
-            verify=verify,
+        """Measure an ``MPI_Allgather``.
+
+        ``algorithm="auto"`` picks the section-VII extension policy by
+        per-rank block size.
+        """
+        return run_collective(
+            self.machine, "allgather", algorithm, parse_size(block_bytes),
+            iters=iters, verify=verify,
         )
 
     def alltoall(
@@ -192,22 +167,22 @@ class Communicator:
         verify: bool = False,
     ) -> CollectiveResult:
         """Measure an ``MPI_Alltoall`` with per-pair blocks."""
-        return run_alltoall(
-            self.machine, algorithm, parse_size(block_bytes), iters=iters,
-            verify=verify,
+        return run_collective(
+            self.machine, "alltoall", algorithm, parse_size(block_bytes),
+            iters=iters, verify=verify,
         )
 
     def barrier(self, algorithm: str = "barrier-gi") -> float:
         """Run one global barrier; returns its measured latency in µs
         (excluding the MPI software entry overhead)."""
-        result = run_barrier(self.machine, algorithm)
+        result = run_collective(self.machine, "barrier", algorithm)
         return result.elapsed_us - self.machine.params.mpi_overhead
 
     # -- introspection -----------------------------------------------------
     @staticmethod
     def available_bcast_algorithms() -> list:
         """Names accepted by :meth:`bcast`'s ``algorithm`` parameter."""
-        return list_bcast_algorithms()
+        return list_algorithms("bcast")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Communicator size={self.size} machine={self.machine!r}>"

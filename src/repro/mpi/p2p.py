@@ -140,7 +140,7 @@ def run_pingpong(
         raise ValueError(f"nbytes must be >= 0, got {nbytes}")
     if iters < 1:
         raise ValueError(f"iters must be >= 1, got {iters}")
-    machine._check_rank(rank_a)
+    machine.check_rank(rank_a)
     if rank_b is None:
         node_a = machine.rank_to_node(rank_a)
         far_node = max(
@@ -148,7 +148,7 @@ def run_pingpong(
             key=lambda n: machine.torus.hop_distance(node_a, n),
         )
         rank_b = machine.node_ranks(far_node)[0]
-    machine._check_rank(rank_b)
+    machine.check_rank(rank_b)
     if rank_a == rank_b:
         raise ValueError("ping-pong needs two distinct ranks")
     chosen = (
