@@ -1,0 +1,288 @@
+"""Seeded chaos campaigns: collectives under transient-fault timelines.
+
+Two layers live here:
+
+:func:`run_resilient_collective`
+    the resilience driver.  It runs one collective under an installed
+    :class:`~repro.hardware.fault_schedule.FaultSchedule` with a deadline;
+    when a :class:`~repro.sim.engine.TransientFaultError` escapes (window
+    retry budget exhausted, counters stalled past the deadline), it
+    discards the machine, degrades one rung down the fallback ladder
+    (:func:`repro.collectives.registry.fallback_chain` — Shaddr -> FIFO ->
+    DMA), reinstalls the *remaining* fault timeline on a fresh machine,
+    and tries again.  Payloads are verified bit-exact on whatever protocol
+    finally completes; the returned
+    :class:`~repro.collectives.base.CollectiveResult` carries the
+    ``retries`` / ``fallbacks`` / ``recovery_time`` story.
+
+:func:`chaos_campaign`
+    the seeded soak harness behind ``repro chaos``.  For every registered
+    algorithm of the covered families it replays ``runs`` randomized fault
+    campaigns (schedules drawn from one ``numpy`` generator seeded from
+    ``--seed``, so a campaign is replayable from a single integer), plus
+    two *deterministic ladder scenarios* — permanent window-mapping
+    exhaustion stacked with a permanent counter stall — that force a full
+    Shaddr -> FIFO -> DMA walk on both the tree and torus chains.  Results,
+    including recovery-latency distributions, land in
+    ``BENCH_robustness.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bench.harness import run_collective
+from repro.collectives.base import CollectiveResult
+from repro.collectives.registry import fallback_chain, iter_algorithms
+from repro.hardware.fault_schedule import (
+    CounterStall,
+    FaultSchedule,
+    WindowFault,
+)
+from repro.hardware.machine import Machine, Mode
+from repro.sim.engine import TransientFaultError
+
+#: families the campaign sweeps (the fallback ladders under test)
+CAMPAIGN_FAMILIES: Tuple[str, ...] = ("bcast", "allreduce")
+
+#: per-family choices of the harness's natural size argument ``x``
+SIZE_CHOICES: Dict[str, Tuple[int, ...]] = {
+    "bcast": (4096, 65536),
+    "allreduce": (512, 4096),
+}
+SMOKE_SIZE_CHOICES: Dict[str, Tuple[int, ...]] = {
+    "bcast": (4096,),
+    "allreduce": (512,),
+}
+
+#: one iteration of any campaign collective finishes far inside this
+DEFAULT_DEADLINE_US = 20_000.0
+
+
+def run_resilient_collective(
+    machine_factory: Callable[[], Machine],
+    family: str,
+    algorithm: str,
+    x: int,
+    *,
+    schedule: Optional[FaultSchedule] = None,
+    deadline_us: float = DEFAULT_DEADLINE_US,
+    root: int = 0,
+    iters: int = 1,
+    verify: bool = True,
+    seed: int = 1234,
+) -> CollectiveResult:
+    """Run one collective, degrading down the fallback ladder on faults.
+
+    ``machine_factory`` builds a fresh machine per attempt (a faulted
+    machine is discarded, like a torn-down protocol context).  The fault
+    timeline is re-installed on each fresh machine shifted by the campaign
+    time already burned, so a window that opened during attempt 1 is still
+    open (with its remaining duration) when attempt 2 starts.  Raises
+    :class:`TransientFaultError` if every rung of the ladder faults out.
+    """
+    machine = machine_factory()
+    chain = fallback_chain(family, algorithm, machine.ppn)
+    fallbacks: List[str] = []
+    recovery_us = 0.0
+    retries = 0
+    failures: List[str] = []
+    for index, protocol in enumerate(chain):
+        if index > 0:
+            machine = machine_factory()
+        if schedule is not None:
+            schedule.install(machine, at=recovery_us)
+        try:
+            result = run_collective(
+                machine, family, protocol, x,
+                root=root, iters=iters, verify=verify, seed=seed,
+                steady_state=False, deadline_us=deadline_us,
+            )
+        except TransientFaultError as fault:
+            fallbacks.append(protocol)
+            recovery_us += machine.engine.now
+            retries += machine.faults.window_retries
+            failures.append(f"{protocol}: {fault}")
+            continue
+        result.retries += retries
+        result.fallbacks = fallbacks
+        result.recovery_time = recovery_us
+        return result
+    raise TransientFaultError(
+        f"{family}/{algorithm}: every protocol in the fallback chain "
+        f"faulted out ({'; '.join(failures)})"
+    )
+
+
+# -- campaign ------------------------------------------------------------
+
+def _mode_for(modes: Sequence[int]) -> Mode:
+    """The richest operating mode an algorithm supports."""
+    return Mode(max(modes))
+
+
+def _machine_factory(dims: Tuple[int, int, int], mode: Mode):
+    def build() -> Machine:
+        return Machine(torus_dims=dims, mode=mode)
+    return build
+
+
+def _record(family: str, algorithm: str, mode: Mode, x: int,
+            result: CollectiveResult) -> dict:
+    return {
+        "family": family,
+        "algorithm": algorithm,
+        "mode": mode.name,
+        "x": x,
+        "nbytes": result.nbytes,
+        "completed_with": result.algorithm,
+        "fallbacks": list(result.fallbacks),
+        "retries": result.retries,
+        "recovery_us": round(result.recovery_time, 3),
+        "elapsed_us": round(result.elapsed_us, 3),
+        "payload_ok": True,
+    }
+
+
+def _ladder_scenarios(dims: Tuple[int, int, int]) -> List[dict]:
+    """Deterministic full-ladder walks: Shaddr -> FIFO -> DMA, forced.
+
+    A permanent (never-clearing) window-mapping exhaustion kills the
+    shared-address rung; a permanent counter stall kills the FIFO/shmem
+    rung, whose progress rides software message counters; the DMA rung
+    uses hardware byte counters and events, which neither fault touches,
+    and completes with a bit-correct payload.
+    """
+    schedule = FaultSchedule([
+        WindowFault(start=0.0, duration=None, node=None, slots_available=0),
+        CounterStall(start=0.0, duration=None, node=None),
+    ])
+    scenarios = []
+    for family, algorithm, x in (
+        ("bcast", "torus-shaddr", 65536),
+        ("bcast", "tree-shaddr", 65536),
+    ):
+        result = run_resilient_collective(
+            _machine_factory(dims, Mode.QUAD), family, algorithm, x,
+            schedule=schedule, verify=True,
+        )
+        record = _record(family, algorithm, Mode.QUAD, x, result)
+        record["scenario"] = "permanent-window-fault+counter-stall"
+        scenarios.append(record)
+    return scenarios
+
+
+def chaos_campaign(
+    *,
+    seed: int = 0,
+    runs: int = 3,
+    dims: Tuple[int, int, int] = (2, 2, 2),
+    deadline_us: float = DEFAULT_DEADLINE_US,
+    smoke: bool = False,
+    out_path: Optional[str] = "BENCH_robustness.json",
+    verbose: bool = True,
+) -> dict:
+    """Randomized fault campaigns over every registered campaign algorithm.
+
+    Replayable from ``seed`` alone.  Returns (and, unless ``out_path`` is
+    None, writes) the robustness report; ``smoke`` shrinks the sweep for
+    CI.  Raises :class:`AssertionError` if any payload mismatched.
+    """
+    if smoke:
+        runs = min(runs, 1)
+    sizes = SMOKE_SIZE_CHOICES if smoke else SIZE_CHOICES
+    records: List[dict] = []
+    mismatches: List[str] = []
+
+    targets = [
+        info for family in CAMPAIGN_FAMILIES
+        for info in iter_algorithms(family)
+        if info.data_carrying
+    ]
+    for alg_index, info in enumerate(targets):
+        mode = _mode_for(info.modes)
+        factory = _machine_factory(dims, mode)
+        nnodes = factory().nnodes
+        for run in range(runs):
+            rng = np.random.default_rng([seed, alg_index, run])
+            x = int(rng.choice(sizes[info.family]))
+            # Horizon chosen at collective scale (tens to hundreds of µs)
+            # so drawn windows actually overlap the run.
+            schedule = FaultSchedule.random(
+                rng, nnodes, horizon_us=400.0, max_faults=3
+            )
+            try:
+                result = run_resilient_collective(
+                    factory, info.family, info.name, x,
+                    schedule=schedule, deadline_us=deadline_us,
+                    verify=True, seed=seed + run,
+                )
+            except AssertionError as mismatch:
+                mismatches.append(f"{info.family}/{info.name}: {mismatch}")
+                continue
+            record = _record(info.family, info.name, mode, x, result)
+            record["faults"] = [f.label() for f in schedule.faults]
+            records.append(record)
+            if verbose:
+                print(f"  {info.family}/{info.name} run {run}: {result}")
+
+    ladder = _ladder_scenarios(dims)
+    if verbose:
+        for record in ladder:
+            print(
+                f"  ladder {record['algorithm']}: "
+                f"{'>'.join(record['fallbacks'] + [record['completed_with']])}"
+            )
+
+    all_records = records + ladder
+    fallback_events = sum(len(r["fallbacks"]) for r in all_records)
+    full_walks = sum(1 for r in all_records if len(r["fallbacks"]) >= 2)
+    recovery: Dict[str, dict] = {}
+    for record in all_records:
+        bucket = recovery.setdefault(
+            record["algorithm"],
+            {"count": 0, "recovered": 0, "mean_us": 0.0, "max_us": 0.0},
+        )
+        bucket["count"] += 1
+        if record["recovery_us"] > 0.0:
+            bucket["recovered"] += 1
+        bucket["mean_us"] += record["recovery_us"]
+        bucket["max_us"] = max(bucket["max_us"], record["recovery_us"])
+    for bucket in recovery.values():
+        bucket["mean_us"] = round(bucket["mean_us"] / bucket["count"], 3)
+
+    report = {
+        "meta": {
+            "seed": seed,
+            "runs_per_algorithm": runs,
+            "dims": list(dims),
+            "deadline_us": deadline_us,
+            "smoke": smoke,
+        },
+        "runs": records,
+        "ladder": ladder,
+        "recovery_us": recovery,
+        "summary": {
+            "total_runs": len(all_records),
+            "payload_mismatches": len(mismatches),
+            "fallback_events": fallback_events,
+            "full_ladder_walks": full_walks,
+        },
+    }
+    if out_path is not None:
+        with open(out_path, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        if verbose:
+            print(f"wrote {out_path}")
+    if mismatches:
+        raise AssertionError(
+            f"{len(mismatches)} payload mismatch(es): " + "; ".join(mismatches)
+        )
+    return report
+
+
+if __name__ == "__main__":  # pragma: no cover - module smoke entry
+    chaos_campaign(seed=0, smoke=True)

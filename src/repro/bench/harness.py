@@ -61,6 +61,7 @@ import numpy as np
 from repro.collectives.base import CollectiveResult, InvocationBase
 from repro.collectives.registry import get_algorithm, select_protocol
 from repro.hardware.machine import Machine
+from repro.sim.engine import TransientFaultError
 
 
 def _measure(
@@ -69,6 +70,7 @@ def _measure(
     iters: int,
     verify: bool,
     steady_state: Optional[bool] = None,
+    deadline_us: Optional[float] = None,
 ) -> List[List[float]]:
     """Run the Fig-5 loop; returns per-iteration, per-rank elapsed times.
 
@@ -77,6 +79,13 @@ def _measure(
     remaining rows are filled with copies of the steady iteration (see
     module docstring); the returned matrix is bit-identical either way.
     ``None`` (the default) enables it exactly when ``verify`` is off.
+
+    ``deadline_us`` turns the loop into a failure detector for injected
+    faults: the engine stops once the clock passes the deadline, and any
+    rank still unfinished raises :class:`TransientFaultError` — catching
+    stalls and deadlocks without per-wait timeouts.  Because the harness
+    rebases the clock at each iteration barrier, the deadline effectively
+    bounds one iteration's continuous simulated time, not the whole loop.
     """
     if steady_state is None:
         steady_state = not verify
@@ -138,7 +147,17 @@ def _measure(
         machine.spawn(rank_loop(rank), name=f"mpi.r{rank}")
         for rank in range(nprocs)
     ]
-    engine.run_until_processes_finish(procs)
+    if deadline_us is None:
+        engine.run_until_processes_finish(procs)
+    else:
+        engine.run(until=deadline_us)
+        stuck = [p for p in procs if not p.finished]
+        if stuck:
+            names = ", ".join(p.name for p in stuck[:8])
+            raise TransientFaultError(
+                f"collective missed its {deadline_us:.0f} us deadline: "
+                f"{len(stuck)} rank(s) unfinished: {names}"
+            )
     stop_after = state["stop_after"]
     if stop_after is not None:
         steady = times[stop_after]
@@ -292,6 +311,7 @@ def run_collective(
     window_caching: bool = True,
     seed: int = 1234,
     steady_state: Optional[bool] = None,
+    deadline_us: Optional[float] = None,
 ) -> CollectiveResult:
     """Measure one collective of ``family`` with the Fig-5 loop.
 
@@ -301,6 +321,8 @@ def run_collective(
     :class:`FamilySpec`.  ``verify=True`` carries a pseudo-random payload
     through the simulated machine and asserts every rank received the
     correct bytes (slower; meant for tests and small configurations).
+    ``deadline_us`` (see :func:`_measure`) makes a stalled run raise
+    :class:`TransientFaultError` instead of hanging in simulated time.
     """
     if family not in FAMILY_SPECS:
         raise KeyError(
@@ -334,7 +356,10 @@ def run_collective(
     def make_invocation(_iteration: int):
         return spec.build(cls, machine, x, payload, root, window_caching)
 
-    times = _measure(machine, make_invocation, iters, verify, steady_state)
+    retries_before = machine.faults.window_retries
+    times = _measure(
+        machine, make_invocation, iters, verify, steady_state, deadline_us
+    )
     per_iter = [max(row) for row in times]
     return CollectiveResult(
         algorithm=cls.name,
@@ -342,6 +367,7 @@ def run_collective(
         nprocs=machine.nprocs,
         elapsed_us=sum(per_iter) / len(per_iter),
         iterations_us=per_iter,
+        retries=machine.faults.window_retries - retries_before,
     )
 
 

@@ -11,6 +11,9 @@ Commands
     Print the analytic steady-state bounds for a broadcast algorithm.
 ``figure``
     Regenerate one of the paper's figures/tables (fig6..fig10, table1).
+``chaos``
+    Run a seeded transient-fault campaign over the registered collectives
+    and write ``BENCH_robustness.json``.
 ``params``
     Dump the calibrated model constants.
 
@@ -180,6 +183,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "chaos",
+        help="seeded fault campaign: collectives under transient faults",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign seed (the whole campaign replays from it)",
+    )
+    p.add_argument(
+        "--runs", type=int, default=3,
+        help="randomized fault campaigns per algorithm (default 3)",
+    )
+    p.add_argument(
+        "--dims", type=_parse_dims, default=(2, 2, 2),
+        help="torus dimensions, e.g. 2x2x2",
+    )
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="shrink the sweep for CI (1 run, smallest sizes)",
+    )
+    p.add_argument(
+        "--out", default="BENCH_robustness.json",
+        help="robustness report path (default BENCH_robustness.json)",
+    )
+
+    p = sub.add_parser(
         "sweep", help="run a JSON-configured parameter sweep"
     )
     p.add_argument("config", help="path to the sweep JSON config")
@@ -334,6 +362,23 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.bench.chaos import chaos_campaign
+
+    report = chaos_campaign(
+        seed=args.seed, runs=args.runs, dims=args.dims,
+        smoke=args.smoke, out_path=args.out,
+    )
+    summary = report["summary"]
+    print(
+        f"chaos campaign (seed {args.seed}): {summary['total_runs']} runs, "
+        f"{summary['fallback_events']} fallback(s), "
+        f"{summary['full_ladder_walks']} full ladder walk(s), "
+        f"{summary['payload_mismatches']} payload mismatch(es)"
+    )
+    return 0 if summary["payload_mismatches"] == 0 else 1
+
+
 def _cmd_sweep(args) -> int:
     from repro.bench.sweep import run_sweep_file
 
@@ -361,6 +406,7 @@ _COMMANDS = {
     "pingpong": _cmd_pingpong,
     "predict": _cmd_predict,
     "figure": _cmd_figure,
+    "chaos": _cmd_chaos,
     "sweep": _cmd_sweep,
     "params": _cmd_params,
 }

@@ -188,7 +188,7 @@ class RingShaddrAllgather(_RingAllgatherBase):
             [] for _ in range(machine.nnodes)
         ]
         self.published: List[SimCounter] = [
-            SimCounter(engine, name=f"n{n}.ag.pub")
+            machine.make_counter(name=f"n{n}.ag.pub", node=n)
             for n in range(machine.nnodes)
         ]
         self.mailbox: List[Store] = [

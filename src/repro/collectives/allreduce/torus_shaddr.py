@@ -78,13 +78,15 @@ class TorusShaddrAllreduce(AllreduceInvocation):
             Store(engine, name=f"n{n}.mbox") for n in range(machine.nnodes)
         ]
         self.published: List[SimCounter] = [
-            SimCounter(engine, name=f"n{n}.pub") for n in range(machine.nnodes)
+            machine.make_counter(name=f"n{n}.pub", node=n)
+            for n in range(machine.nnodes)
         ]
         self.records: List[List[Tuple[int, int]]] = [
             [] for _ in range(machine.nnodes)
         ]
         self.completion: List[SimCounter] = [
-            SimCounter(engine, name=f"n{n}.done") for n in range(machine.nnodes)
+            machine.make_counter(name=f"n{n}.done", node=n)
+            for n in range(machine.nnodes)
         ]
         self.net.on_chunk(
             lambda node, _c, goff, size: self.mailbox[node].put((goff, size))

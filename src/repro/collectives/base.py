@@ -40,6 +40,13 @@ class CollectiveResult:
     elapsed_us: float
     #: per-iteration elapsed times (µs)
     iterations_us: List[float] = field(default_factory=list)
+    #: transient-fault retries absorbed inside the run (window remaps etc.)
+    retries: int = 0
+    #: protocols abandoned mid-run, in fallback order (empty when healthy)
+    fallbacks: List[str] = field(default_factory=list)
+    #: µs of simulated time spent on failed attempts before the protocol
+    #: that finally completed (0.0 when the first choice succeeded)
+    recovery_time: float = 0.0
 
     @property
     def bandwidth_mbs(self) -> float:
@@ -54,10 +61,17 @@ class CollectiveResult:
         return bandwidth_mbs(self.nbytes, self.elapsed_us)
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"{self.algorithm}: {self.nbytes} B in {self.elapsed_us:.2f} us "
             f"({self.bandwidth_mbs:.1f} MB/s) on {self.nprocs} procs"
         )
+        if self.retries or self.fallbacks:
+            text += (
+                f" [retries={self.retries}"
+                f" fallbacks={'>'.join(self.fallbacks) or '-'}"
+                f" recovery={self.recovery_time:.2f} us]"
+            )
+        return text
 
 
 class InvocationSession:
@@ -153,7 +167,10 @@ class InvocationBase:
         cached per rank for the lifetime of the invocation)."""
         windows = self._windows.get(rank)
         if windows is None:
-            windows = ProcessWindows(self.machine, caching=self.window_caching)
+            windows = ProcessWindows(
+                self.machine, caching=self.window_caching,
+                node=self.machine.rank_to_node(rank),
+            )
             self._windows[rank] = windows
         return ProcContext(self.machine, rank, windows)
 

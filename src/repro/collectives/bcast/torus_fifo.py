@@ -60,11 +60,11 @@ class TorusFifoBcast(BcastInvocation):
         # The FIFO modelled at chunk granularity: elements visible / retired
         # (visible to consumers after the staging copy completes).
         self.visible: List[SimCounter] = [
-            SimCounter(engine, name=f"n{n}.fifo.tail")
+            machine.make_counter(name=f"n{n}.fifo.tail", node=n)
             for n in range(machine.nnodes)
         ]
         self.retired: List[SimCounter] = [
-            SimCounter(engine, name=f"n{n}.fifo.head")
+            machine.make_counter(name=f"n{n}.fifo.head", node=n)
             for n in range(machine.nnodes)
         ]
         self.elements: List[list] = [[] for _ in range(machine.nnodes)]

@@ -51,7 +51,8 @@ class TorusShaddrBcast(BcastInvocation):
         # Software message counters: per node, the published chunk count and
         # the arrival records peers read (offset, size per chunk index).
         self.sw_published: List[SimCounter] = [
-            SimCounter(engine, name=f"n{n}.swcnt") for n in range(nnodes)
+            machine.make_counter(name=f"n{n}.swcnt", node=n)
+            for n in range(nnodes)
         ]
         self.arrived: List[List[Tuple[int, int]]] = [[] for _ in range(nnodes)]
         # Master-side mailboxes carrying raw DMA-counter observations.
@@ -60,7 +61,8 @@ class TorusShaddrBcast(BcastInvocation):
         ]
         # Completion counters (peers -> master buffer ownership).
         self.completion: List[SimCounter] = [
-            SimCounter(engine, name=f"n{n}.done") for n in range(nnodes)
+            machine.make_counter(name=f"n{n}.done", node=n)
+            for n in range(nnodes)
         ]
         self.net.on_chunk(
             lambda node, _c, goff, size: self.mailbox[node].put((goff, size))

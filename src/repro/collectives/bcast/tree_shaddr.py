@@ -54,12 +54,12 @@ class TreeShaddrBcast(BcastInvocation):
         engine = machine.engine
         #: rank-1's software counter: chunks landed in its application buffer
         self.sw_counter: List[SimCounter] = [
-            SimCounter(engine, name=f"n{n}.swcnt")
+            machine.make_counter(name=f"n{n}.swcnt", node=n)
             for n in range(machine.nnodes)
         ]
         #: chunks copied into the injection process's buffer by local rank 2
         self.injector_filled: List[SimCounter] = [
-            SimCounter(engine, name=f"n{n}.injfill")
+            machine.make_counter(name=f"n{n}.injfill", node=n)
             for n in range(machine.nnodes)
         ]
 

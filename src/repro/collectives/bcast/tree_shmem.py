@@ -48,7 +48,7 @@ class TreeShmemBcast(BcastInvocation):
         ]
         #: per-node count of chunks staged into the shared segment
         self.staged: List[SimCounter] = [
-            SimCounter(engine, name=f"n{n}.staged")
+            machine.make_counter(name=f"n{n}.staged", node=n)
             for n in range(machine.nnodes)
         ]
 

@@ -30,7 +30,11 @@ import importlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
-from repro.collectives.selection import select_protocol, selectable_families
+from repro.collectives.selection import (
+    next_fallback,
+    select_protocol,
+    selectable_families,
+)
 
 __all__ = [
     "ALL_MODES",
@@ -41,6 +45,8 @@ __all__ = [
     "algorithm_info",
     "iter_algorithms",
     "families",
+    "fallback_chain",
+    "next_fallback",
     "select_protocol",
     "selectable_families",
 ]
@@ -173,6 +179,30 @@ def get_algorithm(family: str, name: str) -> type:
 def list_algorithms(family: str) -> List[str]:
     """Sorted registry names of one family."""
     return sorted(_family_bucket(family))
+
+
+def fallback_chain(family: str, name: str, ppn: int) -> List[str]:
+    """Degradation ladder starting at ``name``, filtered to ``ppn``.
+
+    Walks :data:`repro.collectives.selection.FALLBACK_TABLE` from ``name``
+    and keeps only protocols whose registered modes include ``ppn``
+    (``name`` itself is kept unconditionally — the caller already chose
+    it).  The resilience layer tries the entries in order, moving down one
+    rung each time a :class:`~repro.sim.engine.TransientFaultError`
+    escapes a run.
+    """
+    chain = [name]
+    seen = {name}
+    current = name
+    while True:
+        nxt = next_fallback(family, current)
+        if nxt is None or nxt in seen:
+            break
+        seen.add(nxt)
+        current = nxt
+        if algorithm_info(family, nxt).supports_ppn(ppn):
+            chain.append(nxt)
+    return chain
 
 
 def iter_algorithms(family: Optional[str] = None) -> List[AlgorithmInfo]:

@@ -158,7 +158,7 @@ class RingShaddrScatter(_RingScatterBase):
         super().setup()
         engine = self.machine.engine
         self.published: List[SimCounter] = [
-            SimCounter(engine, name=f"n{n}.s.pub")
+            self.machine.make_counter(name=f"n{n}.s.pub", node=n)
             for n in range(self.machine.nnodes)
         ]
 

@@ -84,9 +84,57 @@ SELECTION_TABLE: Dict[str, Tuple[ModeRule, ...]] = {
 }
 
 
+#: family -> algorithm -> next protocol to try when it faults out.
+#: The ladder exploits that the tiers fail independently: the
+#: shared-address schemes die with window-mapping (TLB-slot) exhaustion,
+#: the FIFO/shmem schemes ride software message counters and stall with
+#: the publishing core, and the DMA/direct-put schemes use hardware byte
+#: counters that keep counting through both — so walking
+#: Shaddr -> FIFO -> DMA always ends on a protocol the fault cannot touch.
+FALLBACK_TABLE: Dict[str, Dict[str, str]] = {
+    "bcast": {
+        "tree-shaddr": "tree-shmem",
+        "tree-shmem": "tree-dma-fifo",
+        "tree-dma-fifo": "tree-dma-direct-put",
+        "torus-shaddr": "torus-fifo",
+        "torus-fifo": "torus-direct-put",
+        "tree-smp": "torus-direct-put-smp",
+    },
+    "allreduce": {
+        "allreduce-torus-shaddr": "allreduce-tree",
+        "allreduce-tree": "allreduce-torus-current",
+    },
+    "allgather": {
+        "allgather-ring-shaddr": "allgather-ring-current",
+    },
+    "alltoall": {
+        "alltoall-shift-shaddr": "alltoall-shift-current",
+    },
+    "gather": {
+        "gather-ring-shaddr": "gather-ring-current",
+    },
+    "reduce": {
+        "reduce-torus-shaddr": "reduce-torus-current",
+    },
+    "scatter": {
+        "scatter-ring-shaddr": "scatter-ring-current",
+    },
+}
+
+
 def selectable_families() -> List[str]:
     """Families with a selection policy (``select_protocol`` targets)."""
     return sorted(SELECTION_TABLE)
+
+
+def next_fallback(family: str, name: str) -> Optional[str]:
+    """The protocol to degrade to when ``family``/``name`` faults out.
+
+    Returns ``None`` at the bottom of the ladder (nothing hardier left).
+    Mode filtering is the caller's job — see
+    :func:`repro.collectives.registry.fallback_chain`.
+    """
+    return FALLBACK_TABLE.get(family, {}).get(name)
 
 
 def select_protocol(family: str, nbytes: int, ppn: int) -> str:

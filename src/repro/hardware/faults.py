@@ -9,6 +9,11 @@ degraded torus link throttles every color stream crossing it.
 
 All injectors operate on resource capacities (and, for jitter, on
 per-process delays), so they compose with every algorithm unmodified.
+Injectors that touch capacities reinstalled by
+:meth:`Machine.set_working_set` register a reapply hook on the machine,
+so the perturbation persists across regime changes.  For *time-windowed*
+faults driven by the simulation clock, see
+:mod:`repro.hardware.fault_schedule`.
 """
 
 from __future__ import annotations
@@ -17,6 +22,17 @@ from typing import Iterable, List, Optional
 
 import numpy as np
 
+from repro.hardware.fault_schedule import (  # noqa: F401 - re-exported
+    ActiveFaults,
+    CounterStall,
+    Fault,
+    FaultSchedule,
+    LinkFlap,
+    NodeSlowdown,
+    RetryPolicy,
+    TreePortFlap,
+    WindowFault,
+)
 from repro.hardware.machine import Machine
 
 
@@ -24,13 +40,14 @@ def degrade_node_memory(machine: Machine, node: int, factor: float) -> None:
     """Scale one node's memory-port capacity by ``factor`` (0 < f <= 1).
 
     Models a node whose DRAM is throttled (thermal limits, ECC storms).
-    Note :meth:`Machine.set_working_set` reinstalls regime capacities, so
-    inject *after* the harness has set the working set — or use
-    :class:`DegradedMemoryMachine` for persistent degradation.
+    The scaling persists across :meth:`Machine.set_working_set` — a reapply
+    hook re-multiplies the freshly installed regime capacity by ``factor``.
     """
     _check_factor(factor)
-    machine.nodes[node].mem.set_capacity(
-        machine.nodes[node].mem.capacity * factor
+    mem = machine.nodes[node].mem
+    mem.set_capacity(mem.capacity * factor)
+    machine.add_reapply_hook(
+        lambda: mem.set_capacity(mem.capacity * factor)
     )
 
 
@@ -65,20 +82,31 @@ def degrade_torus_channels(machine: Machine, node: int, factor: float) -> None:
     invocation has been constructed (routes built), or re-apply before each
     run.  Channels whose line passes through the node are scaled — the
     moral equivalent of one node's links training down to a lower rate.
+    Uses the public :meth:`TorusNetwork.channels_touching` enumeration.
     """
     _check_factor(factor)
-    coords = machine.torus.coords(node)
-    for key, channel in machine.torus._channels.items():
-        kind = key[0]
-        if kind == "line":
-            _k, _color, dim, _sign, line_id = key
-            matches = all(
-                line_id[d] == coords[d] for d in range(3) if d != dim
-            )
-        else:  # per-segment channel: key = ("seg", color, dim, sign, src)
-            matches = key[4] == node
-        if matches:
-            channel.set_capacity(channel.capacity * factor)
+    for channel in machine.torus.channels_touching(node):
+        channel.set_capacity(channel.capacity * factor)
+
+
+class DegradedMemoryMachine:
+    """Deprecated shim: persistent single-node memory degradation.
+
+    Kept for callers that predate the reapply-hook mechanism.  New code
+    should call :func:`degrade_node_memory` directly — its scaling already
+    survives :meth:`Machine.set_working_set` — or install a
+    :class:`~repro.hardware.fault_schedule.NodeSlowdown` window for
+    time-bounded degradation.  Wraps (does not subclass) a machine.
+    """
+
+    def __init__(self, machine: Machine, node: int, factor: float):
+        degrade_node_memory(machine, node, factor)
+        self.machine = machine
+        self.node = node
+        self.factor = factor
+
+    def __getattr__(self, name):
+        return getattr(self.machine, name)
 
 
 class JitterInjector:

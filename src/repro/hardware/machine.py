@@ -17,9 +17,10 @@ live on node ``n`` with local ranks ``0..ppn-1``.
 from __future__ import annotations
 
 import enum
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.hardware.dma import DmaEngine
+from repro.hardware.fault_schedule import ActiveFaults, RetryPolicy
 from repro.hardware.memory import MemoryModel, MemoryRegime
 from repro.hardware.node import Node
 from repro.hardware.params import BGPParams
@@ -27,7 +28,7 @@ from repro.hardware.torus import TorusNetwork
 from repro.hardware.tree import CollectiveNetwork
 from repro.sim.engine import Engine, Process
 from repro.sim.flownet import FlowNetwork
-from repro.sim.sync import SimBarrier
+from repro.sim.sync import SimBarrier, SimCounter
 
 
 class Mode(enum.Enum):
@@ -67,6 +68,14 @@ class Machine:
         self.tree = CollectiveNetwork(self)
         self.ppn = mode.processes_per_node
         self.nprocs = self.nnodes * self.ppn
+        #: registry of active transient-fault windows (queried at protocol
+        #: boundaries; empty on a healthy machine)
+        self.faults = ActiveFaults(self)
+        #: retry/backoff budget for faultable protocol operations
+        self.retry_policy = RetryPolicy()
+        #: hooks re-run after :meth:`set_working_set` reinstalls capacities,
+        #: so injectors and fault windows survive regime changes
+        self._reapply_hooks: List[Callable[[], None]] = []
         if self.ppn > self.params.cores_per_node:
             raise ValueError(
                 f"mode {mode} needs {self.ppn} cores but the node has "
@@ -102,11 +111,29 @@ class Machine:
 
     # -- configuration ----------------------------------------------------
     def set_working_set(self, nbytes: int) -> MemoryRegime:
-        """Install the cache regime for an upcoming collective on all nodes."""
+        """Install the cache regime for an upcoming collective on all nodes.
+
+        Capacity injectors registered via :meth:`add_reapply_hook` are
+        re-run afterwards, so their perturbations survive the regime
+        reinstall instead of being silently reset.
+        """
         regime = self.memory_model.regime(nbytes)
         for node in self.nodes:
             node.set_regime(regime)
+        for hook in self._reapply_hooks:
+            hook()
         return regime
+
+    def add_reapply_hook(self, hook: Callable[[], None]) -> None:
+        """Register a hook re-run after every :meth:`set_working_set`."""
+        self._reapply_hooks.append(hook)
+
+    def remove_reapply_hook(self, hook: Callable[[], None]) -> None:
+        """Unregister a reapply hook (no-op if absent)."""
+        try:
+            self._reapply_hooks.remove(hook)
+        except ValueError:
+            pass
 
     # -- conveniences ------------------------------------------------------
     def spawn(self, generator, name: str = "?") -> Process:
@@ -118,6 +145,24 @@ class Machine:
         with the global-interrupt-network latency."""
         n = parties if parties is not None else self.nprocs
         return SimBarrier(self.engine, n, latency=self.params.barrier_latency)
+
+    def make_counter(
+        self, name: str = "counter", node: Optional[int] = None,
+        value: float = 0.0,
+    ) -> SimCounter:
+        """A fault-aware software counter published by cores on ``node``.
+
+        The paper's software message counters are mirrored by a core, so an
+        injected :class:`~repro.hardware.fault_schedule.CounterStall` on the
+        publishing node defers watcher wake-ups until the stall window
+        clears.  Hardware DMA counters are *not* built through this factory
+        and therefore keep publishing through a stall — which is what lets
+        the DMA protocols act as the last rung of the fallback ladder.
+        """
+        return SimCounter(
+            self.engine, value=value, name=name,
+            stall_fn=lambda: self.faults.stall_remaining(node),
+        )
 
     def run(self) -> float:
         """Drain the event queue; returns the final simulation time."""
@@ -145,6 +190,9 @@ class Machine:
                     flow.advance(now)
                     flow.last_update = 0.0
         self.engine.rebase(now)
+        # Fault windows are stored in absolute engine time; keep them in
+        # step with the rebased clock.
+        self.faults.rebase(now)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

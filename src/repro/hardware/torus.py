@@ -32,7 +32,7 @@ which is where this paper's contention story happens.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Tuple
 
 from repro.sim.events import Event
 from repro.sim.flownet import Flow, FlowResource
@@ -71,6 +71,9 @@ class TorusNetwork:
         #: but only three on a mesh (section V-A-1).
         self.wrap = wrap
         self._channels: Dict[Tuple, FlowResource] = {}
+        #: callbacks fired when a channel is lazily created (fault injectors
+        #: use this so flaps also catch channels built mid-window)
+        self._channel_hooks: List[Callable[[Tuple, FlowResource], None]] = []
 
     # -- topology -----------------------------------------------------------
     def coords(self, index: int) -> Coords:
@@ -131,6 +134,59 @@ class TorusNetwork:
         return total
 
     # -- channels -----------------------------------------------------------
+    def iter_channels(self) -> Iterator[Tuple[Tuple, FlowResource]]:
+        """Yield ``(key, channel)`` for every channel created so far.
+
+        Keys are ``("line", color, dim, sign, line_id)`` for deposit-bit
+        line channels and ``("seg", color, dim, sign, src)`` for
+        point-to-point segment channels.  Channels are created lazily, so
+        the listing grows as collectives build their routes; injectors that
+        must also catch future channels register an
+        :meth:`add_channel_hook` callback.
+        """
+        yield from self._channels.items()
+
+    def channel_touches(self, key: Tuple, node: int) -> bool:
+        """Whether the channel under ``key`` carries traffic through ``node``.
+
+        A line channel matches when the node sits on the line (all fixed
+        coordinates equal); a segment channel matches when the node is the
+        segment's source.
+        """
+        kind = key[0]
+        if kind == "line":
+            _kind, _color, dim, _sign, line_id = key
+            coords = self.coords(node)
+            return all(
+                line_id[d] == coords[d] for d in range(3) if d != dim
+            )
+        return key[4] == node
+
+    def channels_touching(self, node: int) -> List[FlowResource]:
+        """Existing channels whose line or segment passes through ``node``."""
+        return [
+            channel for key, channel in self.iter_channels()
+            if self.channel_touches(key, node)
+        ]
+
+    def add_channel_hook(
+        self, hook: Callable[[Tuple, FlowResource], None]
+    ) -> None:
+        """Call ``hook(key, channel)`` whenever a channel is lazily created."""
+        self._channel_hooks.append(hook)
+
+    def remove_channel_hook(
+        self, hook: Callable[[Tuple, FlowResource], None]
+    ) -> None:
+        """Deregister a channel-creation hook (no-op if absent)."""
+        if hook in self._channel_hooks:
+            self._channel_hooks.remove(hook)
+
+    def _install_channel(self, key: Tuple, channel: FlowResource) -> None:
+        self._channels[key] = channel
+        for hook in self._channel_hooks:
+            hook(key, channel)
+
     def _line_channel(self, color: int, dim: int, sign: int, line_id: Tuple
                       ) -> FlowResource:
         """The per-color wire resource of one line (lazily created)."""
@@ -141,7 +197,7 @@ class TorusNetwork:
                 f"torus.c{color}.d{dim}{'+' if sign > 0 else '-'}.{line_id}",
                 self.machine.params.torus_link_bw,
             )
-            self._channels[key] = channel
+            self._install_channel(key, channel)
         return channel
 
     def _segment_channel(self, color: int, dim: int, sign: int, src: int
@@ -154,7 +210,7 @@ class TorusNetwork:
                 f"torus.c{color}.seg.n{src}.d{dim}{'+' if sign > 0 else '-'}",
                 self.machine.params.torus_link_bw,
             )
-            self._channels[key] = channel
+            self._install_channel(key, channel)
         return channel
 
     def _line_id(self, index: int, dim: int) -> Tuple:

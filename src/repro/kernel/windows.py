@@ -17,13 +17,24 @@ same buffer is repeatedly used in the application" (section VI-A, Fig 8).
 With caching on, the first use of a (peer, buffer) pair pays the system
 calls and later uses are free; with caching off, every use pays.  Cache
 entries are evicted LRU when the peer's slot budget is exhausted.
+
+Faults: an active :class:`~repro.hardware.fault_schedule.WindowFault`
+window caps the TLB slots the kernel will hand out on the mapping node.
+A mapping attempt that needs more slots than the cap pays its system
+calls, fails, and is retried under the machine's
+:class:`~repro.hardware.fault_schedule.RetryPolicy` (exponential backoff);
+when the budget is exhausted a
+:class:`~repro.sim.engine.TransientFaultError` escapes to the resilience
+layer.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Hashable, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, Optional, Tuple
+
+from repro.sim.engine import TransientFaultError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.hardware.machine import Machine
@@ -44,13 +55,17 @@ class ProcessWindows:
     """Per-process window service: syscall accounting plus mapping cache.
 
     One instance per MPI process; ``caching=False`` reproduces the
-    "nocaching" series of Figure 8.
+    "nocaching" series of Figure 8.  ``node`` scopes fault queries to the
+    owning process's node (``None`` = unscoped: any node's window fault
+    applies).
     """
 
-    def __init__(self, machine: "Machine", caching: bool = True):
+    def __init__(self, machine: "Machine", caching: bool = True,
+                 node: Optional[int] = None):
         self.machine = machine
         self.params = machine.params
         self.caching = caching
+        self.node = node
         # key -> WindowMapping, LRU-ordered (most recent last)
         self._cache: "OrderedDict[Tuple[int, Hashable], WindowMapping]" = (
             OrderedDict()
@@ -59,6 +74,10 @@ class ProcessWindows:
         self.syscalls = 0
         self.mappings_installed = 0
         self.cache_hits = 0
+        #: mapping attempts retried after hitting an active window fault
+        self.retries = 0
+        #: mapping operations that exhausted the retry budget
+        self.map_faults = 0
 
     # -- sizing ---------------------------------------------------------
     def slots_needed(self, nbytes: int) -> int:
@@ -79,6 +98,9 @@ class ProcessWindows:
 
         Charges ``2 x syscall_cost`` per required TLB slot unless the mapping
         is cached.  The calling coroutine is the core doing the syscalls.
+        Under an active window fault the attempt fails after paying its
+        syscalls and is retried with exponential backoff; retry exhaustion
+        raises :class:`TransientFaultError`.
         """
         slots = self.slots_needed(nbytes)
         key = (peer, buffer_key)
@@ -89,9 +111,28 @@ class ProcessWindows:
                 self.cache_hits += 1
                 return cached
         cost = 2.0 * self.params.syscall_cost * slots
-        if cost > 0:
-            yield self.machine.engine.timeout(cost)
-        self.syscalls += 2 * slots
+        policy = self.machine.retry_policy
+        attempt = 1
+        while True:
+            if cost > 0:
+                yield self.machine.engine.timeout(cost)
+            self.syscalls += 2 * slots
+            cap = self.machine.faults.window_slot_cap(self.node)
+            if cap is None or slots <= cap:
+                break
+            # The kernel refused the mapping: slot-exhaustion window active.
+            if attempt >= policy.max_attempts:
+                self.map_faults += 1
+                self.machine.faults.window_failures += 1
+                raise TransientFaultError(
+                    f"window mapping for peer {peer} failed after "
+                    f"{attempt} attempts (TLB slots capped at {cap}, "
+                    f"need {slots})"
+                )
+            self.retries += 1
+            self.machine.faults.window_retries += 1
+            yield self.machine.engine.timeout(policy.backoff_us(attempt))
+            attempt += 1
         self.mappings_installed += 1
         mapping = WindowMapping(peer, buffer_key, nbytes, slots)
         if self.caching:

@@ -23,6 +23,18 @@ class SimulationError(RuntimeError):
     """Raised when the simulation reaches an inconsistent state."""
 
 
+class TransientFaultError(RuntimeError):
+    """An injected transient fault surfaced at a protocol boundary.
+
+    Raised by fault-aware services (window mapping, deadline checks) when a
+    retry budget is exhausted or a collective misses its deadline.  Unlike a
+    model bug — which :class:`Process` wraps in :class:`SimulationError` so
+    it fails loudly — a transient fault propagates *unwrapped* out of
+    :meth:`Engine.run`, letting a resilience layer catch it, discard the
+    machine, and fall back to a hardier protocol.
+    """
+
+
 class Process(Waitable):
     """A cooperative simulation process wrapping a generator.
 
@@ -63,6 +75,11 @@ class Process(Waitable):
             self.result = stop.value
             self._done_event.trigger(stop.value)
             return
+        except TransientFaultError:
+            # Injected faults pass through unwrapped so the resilience
+            # layer can distinguish them from genuine model bugs.
+            self.finished = True
+            raise
         except Exception as exc:  # annotate and re-raise: fail loudly
             self.finished = True
             raise SimulationError(

@@ -7,7 +7,7 @@ and the paper's *software message counters* are built on.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.sim.engine import Engine
 from repro.sim.events import Event
@@ -59,12 +59,22 @@ class SimCounter:
     reaches a threshold — equivalent timing to a poll loop with a zero-cost
     poll, with explicit poll overhead charged separately by the caller where
     the model requires it.
+
+    ``stall_fn`` (optional) models a transient message-counter stall: it is
+    consulted on every publish and returns the extra microseconds watcher
+    wake-ups must be deferred (0.0 when healthy).  Already-published values
+    remain readable — the stall models the *publisher* core, not readers —
+    so :meth:`wait_for` against an already-met threshold still fires
+    immediately.  :meth:`repro.hardware.machine.Machine.make_counter` wires
+    this to the machine's active-fault registry.
     """
 
-    def __init__(self, engine: Engine, value: float = 0.0, name: str = "counter"):
+    def __init__(self, engine: Engine, value: float = 0.0, name: str = "counter",
+                 stall_fn: Optional[Callable[[], float]] = None):
         self.engine = engine
         self.value = float(value)
         self.name = name
+        self._stall_fn = stall_fn
         # (threshold, event), kept sorted lazily.
         self._watchers: List[Tuple[float, Event]] = []
 
@@ -80,8 +90,13 @@ class SimCounter:
             self._watchers = [
                 (t, e) for (t, e) in self._watchers if self.value < t
             ]
-            for _t, event in ready:
-                event.trigger(self.value)
+            stall = self._stall_fn() if self._stall_fn is not None else 0.0
+            if stall > 0.0:
+                for _t, event in ready:
+                    self.engine.call_after(stall, event.trigger, self.value)
+            else:
+                for _t, event in ready:
+                    event.trigger(self.value)
 
     def set_at_least(self, value: float) -> None:
         """Raise the counter to ``value`` if it is currently lower."""

@@ -51,6 +51,8 @@ def collect_flow_events(engine: Engine) -> List[dict]:
 
 def _row_for(flow_name: str) -> int:
     """Stable row (tid) assignment by flow-name class."""
+    if flow_name.startswith("fault."):
+        return 1
     if ".dput" in flow_name or "dma" in flow_name or "gather" in flow_name:
         return 2
     if "lb." in flow_name or "ringsend" in flow_name or flow_name.startswith(
@@ -65,6 +67,7 @@ def _row_for(flow_name: str) -> int:
 
 
 _ROW_NAMES = {
+    1: "fault timeline",
     2: "DMA local copies",
     3: "network transfers",
     4: "collective network",

@@ -1,0 +1,189 @@
+"""Resilience-layer tests: retry/backoff, protocol fallback, chaos harness."""
+
+import json
+
+import pytest
+
+from repro.bench.chaos import (
+    _machine_factory,
+    chaos_campaign,
+    run_resilient_collective,
+)
+from repro.bench.harness import run_collective
+from repro.collectives.base import CollectiveResult
+from repro.collectives.registry import fallback_chain
+from repro.hardware.fault_schedule import (
+    CounterStall,
+    FaultSchedule,
+    WindowFault,
+)
+from repro.hardware.machine import Machine, Mode
+from repro.sim.engine import TransientFaultError
+
+QUAD = _machine_factory((2, 2, 1), Mode.QUAD)
+
+
+class TestFallbackChain:
+    def test_quad_chains_end_on_dma(self):
+        assert fallback_chain("bcast", "torus-shaddr", 4) == [
+            "torus-shaddr", "torus-fifo", "torus-direct-put",
+        ]
+        assert fallback_chain("bcast", "tree-shaddr", 4) == [
+            "tree-shaddr", "tree-shmem", "tree-dma-fifo",
+            "tree-dma-direct-put",
+        ]
+
+    def test_chain_filters_unsupported_modes(self):
+        # tree-shmem and the tree DMA schemes need ppn >= 2; in SMP mode
+        # the tree-smp rung falls straight to the SMP direct-put.
+        assert fallback_chain("bcast", "tree-smp", 1) == [
+            "tree-smp", "torus-direct-put-smp",
+        ]
+
+    def test_bottom_rung_has_no_fallback(self):
+        assert fallback_chain("bcast", "torus-direct-put", 4) == [
+            "torus-direct-put",
+        ]
+
+    def test_allreduce_chain(self):
+        assert fallback_chain("allreduce", "allreduce-torus-shaddr", 4) == [
+            "allreduce-torus-shaddr", "allreduce-tree",
+            "allreduce-torus-current",
+        ]
+
+
+class TestRetryRecovery:
+    def test_short_window_fault_absorbed_by_retries(self):
+        schedule = FaultSchedule([WindowFault(start=0.0, duration=20.0)])
+        result = run_resilient_collective(
+            QUAD, "bcast", "torus-shaddr", 64 * 1024,
+            schedule=schedule, verify=True,
+        )
+        assert result.algorithm == "torus-shaddr"  # no fallback needed
+        assert result.retries > 0
+        assert result.fallbacks == []
+        assert result.recovery_time == 0.0
+
+    def test_retry_exhaustion_falls_back_one_rung(self):
+        schedule = FaultSchedule([WindowFault(start=0.0, duration=None)])
+        result = run_resilient_collective(
+            QUAD, "bcast", "torus-shaddr", 64 * 1024,
+            schedule=schedule, verify=True,
+        )
+        assert result.algorithm == "torus-fifo"
+        assert result.fallbacks == ["torus-shaddr"]
+        assert result.retries > 0
+        assert result.recovery_time > 0.0
+
+    def test_full_ladder_shaddr_to_fifo_to_dma(self):
+        schedule = FaultSchedule([
+            WindowFault(start=0.0, duration=None),
+            CounterStall(start=0.0, duration=None),
+        ])
+        result = run_resilient_collective(
+            QUAD, "bcast", "torus-shaddr", 64 * 1024,
+            schedule=schedule, verify=True, deadline_us=5000.0,
+        )
+        assert result.algorithm == "torus-direct-put"
+        assert result.fallbacks == ["torus-shaddr", "torus-fifo"]
+        assert result.recovery_time > 0.0
+
+    def test_healthy_run_reports_no_resilience_activity(self):
+        result = run_resilient_collective(
+            QUAD, "bcast", "torus-shaddr", 64 * 1024, verify=True,
+        )
+        assert result.retries == 0
+        assert result.fallbacks == []
+        assert result.recovery_time == 0.0
+        # ... and the resilience suffix stays out of the healthy repr.
+        assert "fallbacks" not in str(result)
+
+    def test_fallback_result_str_mentions_recovery(self):
+        schedule = FaultSchedule([WindowFault(start=0.0, duration=None)])
+        result = run_resilient_collective(
+            QUAD, "bcast", "torus-shaddr", 64 * 1024,
+            schedule=schedule, verify=True,
+        )
+        text = str(result)
+        assert "fallbacks=torus-shaddr" in text
+        assert "retries=" in text
+
+
+class TestDeadline:
+    def test_stalled_counters_miss_deadline(self):
+        machine = QUAD()
+        FaultSchedule([CounterStall(start=0.0, duration=None)]).install(
+            machine
+        )
+        with pytest.raises(TransientFaultError):
+            run_collective(
+                machine, "bcast", "torus-fifo", 64 * 1024,
+                verify=True, deadline_us=2000.0,
+            )
+
+    def test_healthy_run_unaffected_by_deadline(self):
+        with_deadline = run_collective(
+            QUAD(), "bcast", "torus-shaddr", 64 * 1024, deadline_us=1e6,
+        )
+        without = run_collective(QUAD(), "bcast", "torus-shaddr", 64 * 1024)
+        assert with_deadline.elapsed_us == without.elapsed_us
+
+
+class TestNoFaultBitIdentity:
+    def test_counter_stall_wiring_does_not_change_healthy_timing(self):
+        """make_counter's stall hook must be invisible while no fault is
+        installed — same event ordering, bit-identical timings."""
+        a = run_collective(QUAD(), "bcast", "torus-fifo", 64 * 1024, iters=3)
+        b = run_collective(QUAD(), "bcast", "torus-fifo", 64 * 1024, iters=3)
+        assert a.iterations_us == b.iterations_us
+
+    def test_result_gains_resilience_fields_with_defaults(self):
+        result = CollectiveResult(
+            algorithm="x", nbytes=1, nprocs=1, elapsed_us=1.0,
+        )
+        assert result.retries == 0
+        assert result.fallbacks == []
+        assert result.recovery_time == 0.0
+
+
+class TestChaosCampaign:
+    def test_smoke_campaign_is_clean_and_replayable(self, tmp_path):
+        out = tmp_path / "BENCH_robustness.json"
+        report = chaos_campaign(
+            seed=0, smoke=True, dims=(2, 2, 1), out_path=str(out),
+            verbose=False,
+        )
+        assert report["summary"]["payload_mismatches"] == 0
+        assert report["summary"]["full_ladder_walks"] >= 2
+        on_disk = json.loads(out.read_text())
+        assert on_disk["summary"] == report["summary"]
+        # Replaying the same seed reproduces the campaign exactly.
+        again = chaos_campaign(
+            seed=0, smoke=True, dims=(2, 2, 1), out_path=None, verbose=False,
+        )
+        assert again["runs"] == report["runs"]
+        assert again["ladder"] == report["ladder"]
+
+    def test_ladder_scenarios_complete_on_dma(self):
+        report = chaos_campaign(
+            seed=3, smoke=True, dims=(2, 2, 1), out_path=None, verbose=False,
+        )
+        completed = {r["algorithm"]: r["completed_with"]
+                     for r in report["ladder"]}
+        assert completed["torus-shaddr"] == "torus-direct-put"
+        assert completed["tree-shaddr"] == "tree-dma-fifo"
+
+
+class TestScheduleReinstall:
+    def test_remaining_timeline_shifts_across_attempts(self):
+        # A window that opened at t=100 for 1000us, reinstalled at
+        # campaign time 600, must still be open with 500us left.
+        schedule = FaultSchedule([
+            WindowFault(start=100.0, duration=1000.0, slots_available=0),
+        ])
+        machine = Machine(torus_dims=(2, 1, 1), mode=Mode.QUAD)
+        assert schedule.install(machine, at=600.0) == 1
+        machine.engine.run(until=10.0)
+        assert machine.faults.window_slot_cap(None) == 0
+        machine.engine.run(until=600.0)
+        assert machine.faults.window_slot_cap(None) is None

@@ -4,7 +4,17 @@ import pytest
 
 from repro.bench import run_bcast
 from repro.hardware import Machine, Mode
+from repro.hardware.fault_schedule import (
+    CounterStall,
+    FaultSchedule,
+    LinkFlap,
+    NodeSlowdown,
+    RetryPolicy,
+    TreePortFlap,
+    WindowFault,
+)
 from repro.hardware.faults import (
+    DegradedMemoryMachine,
     JitterInjector,
     degrade_node_dma,
     degrade_node_memory,
@@ -130,3 +140,173 @@ class TestValidation:
                 degrade_node_dma(m, 0, bad)
             with pytest.raises(ValueError):
                 degrade_node_memory(m, 0, bad)
+
+
+class TestInjectorPersistence:
+    """Injected capacity scalings must survive set_working_set."""
+
+    def test_memory_degradation_survives_regime_reinstall(self):
+        m = Machine(torus_dims=(2, 1, 1), mode=Mode.QUAD)
+        m.set_working_set(64 * 1024)
+        baseline = m.nodes[1].mem.capacity
+        degrade_node_memory(m, node=1, factor=0.5)
+        assert m.nodes[1].mem.capacity == pytest.approx(0.5 * baseline)
+        # Regime reinstall used to silently reset the capacity; the
+        # reapply hook must re-scale it.
+        m.set_working_set(64 * 1024)
+        assert m.nodes[1].mem.capacity == pytest.approx(0.5 * baseline)
+        # Untouched nodes are reinstalled clean.
+        assert m.nodes[0].mem.capacity == pytest.approx(baseline)
+
+    def test_degraded_memory_machine_shim_delegates(self):
+        m = Machine(torus_dims=(2, 1, 1), mode=Mode.QUAD)
+        wrapped = DegradedMemoryMachine(m, node=0, factor=0.5)
+        assert wrapped.nnodes == m.nnodes
+        assert wrapped.machine is m
+
+    def test_removed_hook_stops_reapplying(self):
+        m = Machine(torus_dims=(2, 1, 1), mode=Mode.QUAD)
+        calls = []
+        hook = lambda: calls.append(1)  # noqa: E731
+        m.add_reapply_hook(hook)
+        m.set_working_set(1024)
+        m.remove_reapply_hook(hook)
+        m.set_working_set(1024)
+        assert len(calls) == 1
+
+
+class TestTorusChannelApi:
+    """Public channel enumeration (no reaching into torus._channels)."""
+
+    def test_channels_touching_matches_iteration(self):
+        m = Machine(torus_dims=(2, 2, 1), mode=Mode.QUAD)
+        run_bcast(m, "torus-shaddr", 64 * 1024)  # lazily creates channels
+        assert len(list(m.torus.iter_channels())) > 0
+        touched = m.torus.channels_touching(0)
+        assert touched
+        expected = [
+            ch for key, ch in m.torus.iter_channels()
+            if m.torus.channel_touches(key, 0)
+        ]
+        assert touched == expected
+
+    def test_channel_hook_sees_lazy_creation(self):
+        m = Machine(torus_dims=(2, 2, 1), mode=Mode.QUAD)
+        created = []
+        m.torus.add_channel_hook(lambda key, ch: created.append(key))
+        run_bcast(m, "torus-shaddr", 64 * 1024)
+        assert created  # channels are created lazily, during the run
+        m.torus.remove_channel_hook(created.append)  # absent hook: no-op
+
+
+class TestFaultSchedule:
+    def test_windowed_link_flap_slows_then_fully_recovers(self):
+        def measure(schedule):
+            m = Machine(torus_dims=(2, 2, 1), mode=Mode.QUAD)
+            if schedule is not None:
+                schedule.install(m)
+            return run_bcast(
+                m, "torus-shaddr", 512 * 1024, verify=True
+            ).elapsed_us, m
+
+        healthy, _ = measure(None)
+        flap = FaultSchedule(
+            [LinkFlap(start=0.0, duration=400.0, node=0, factor=0.3)]
+        )
+        flapped, m = measure(flap)
+        assert flapped > healthy
+        # After the window closed every channel is back at full capacity:
+        # an identical second run on the same machine matches healthy.
+        again = run_bcast(m, "torus-shaddr", 512 * 1024)
+        assert again.elapsed_us == pytest.approx(healthy, rel=1e-6)
+
+    def test_expired_window_is_skipped_on_install(self):
+        m = Machine(torus_dims=(2, 1, 1), mode=Mode.QUAD)
+        schedule = FaultSchedule(
+            [NodeSlowdown(start=0.0, duration=50.0, node=0, factor=0.5)]
+        )
+        assert schedule.install(m, at=100.0) == 0
+
+    def test_slowdown_and_treeport_apply_and_revert(self):
+        m = Machine(torus_dims=(2, 1, 1), mode=Mode.QUAD)
+        mem0 = m.nodes[0].mem.capacity
+        tree0 = m.nodes[1].tree_down.capacity
+        FaultSchedule([
+            NodeSlowdown(start=10.0, duration=20.0, node=0, factor=0.5),
+            TreePortFlap(start=10.0, duration=20.0, node=1, factor=0.25),
+        ]).install(m)
+        m.engine.run(until=15.0)
+        assert m.nodes[0].mem.capacity == pytest.approx(0.5 * mem0)
+        assert m.nodes[1].tree_down.capacity == pytest.approx(0.25 * tree0)
+        m.engine.run(until=40.0)
+        assert m.nodes[0].mem.capacity == pytest.approx(mem0)
+        assert m.nodes[1].tree_down.capacity == pytest.approx(tree0)
+
+    def test_fault_windows_land_in_the_trace(self):
+        from repro.sim.engine import Engine
+        from repro.sim.tracing import chrome_trace
+
+        m = Machine(torus_dims=(2, 1, 1), mode=Mode.QUAD,
+                    engine=Engine(trace=True))
+        FaultSchedule([
+            NodeSlowdown(start=5.0, duration=10.0, node=0, factor=0.5),
+            CounterStall(start=0.0, duration=8.0, node=None),
+        ]).install(m)
+        m.engine.run()
+        events = [
+            e for e in chrome_trace(m.engine)["traceEvents"]
+            if e.get("ph") == "X" and e["name"].startswith("fault.")
+        ]
+        assert {e["name"] for e in events} == {
+            "fault.slowdown.n0", "fault.ctrstall.all",
+        }
+        # Fault events live on their own trace row.
+        assert all(e["tid"] == 1 for e in events)
+
+    def test_window_fault_query_scoping(self):
+        m = Machine(torus_dims=(2, 1, 1), mode=Mode.QUAD)
+        FaultSchedule([
+            WindowFault(start=0.0, duration=10.0, node=1, slots_available=2),
+        ]).install(m)
+        assert m.faults.window_slot_cap(1) == 2
+        assert m.faults.window_slot_cap(0) is None
+        assert m.faults.window_slot_cap(None) == 2  # unscoped caller
+        m.engine.run(until=20.0)
+        assert m.faults.window_slot_cap(1) is None  # window over
+
+    def test_counter_stall_defers_wakeups_not_reads(self):
+        m = Machine(torus_dims=(2, 1, 1), mode=Mode.QUAD)
+        FaultSchedule([
+            CounterStall(start=0.0, duration=50.0, node=0),
+        ]).install(m)
+        counter = m.make_counter(name="c", node=0)
+        counter.add(1.0)  # published before any watcher: value readable
+        woken_at = []
+
+        def watcher():
+            yield counter.wait_for(2.0)
+            woken_at.append(m.engine.now)
+
+        def already_met():
+            # Threshold already met: fires immediately despite the stall.
+            yield counter.wait_for(1.0)
+            woken_at.append(("immediate", m.engine.now))
+
+        m.spawn(watcher())
+        m.spawn(already_met())
+        m.engine.call_at(10.0, lambda _v: counter.add(1.0), None)
+        m.engine.run()
+        assert ("immediate", 0.0) in woken_at
+        # The publish at t=10 is deferred to the stall window's end (t=50).
+        assert woken_at[-1] == 50.0
+
+    def test_retry_policy_backoff(self):
+        policy = RetryPolicy(
+            max_attempts=4, base_backoff_us=8.0, backoff_factor=2.0,
+            max_backoff_us=20.0,
+        )
+        assert policy.backoff_us(1) == 8.0
+        assert policy.backoff_us(2) == 16.0
+        assert policy.backoff_us(3) == 20.0  # capped
+        with pytest.raises(ValueError):
+            policy.backoff_us(0)

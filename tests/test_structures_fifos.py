@@ -194,6 +194,81 @@ class TestBcastFifoThreaded:
             assert results[i] == expected
 
 
+class TestFifosUnderStalls:
+    """Wraparound edge cases with a stalled party in the loop.
+
+    A stalled consumer (the analogue of an injected counter stall: the
+    core that should retire slots stops for a while) forces the producer
+    to ride the head of a tiny FIFO, so every slot index wraps many
+    times while a reader is parked mid-stream.
+    """
+
+    def test_ptp_wraparound_survives_stalled_consumer(self):
+        import time
+
+        f = PtPFifo(slots=2, slot_bytes=8)
+        nmsgs = 50
+        out = []
+
+        def consume():
+            for k in range(nmsgs):
+                if k == 10:  # stall mid-stream, after the first wraparound
+                    time.sleep(0.05)
+                out.append(f.dequeue(timeout=10))
+
+        t = threading.Thread(target=consume)
+        t.start()
+        for k in range(nmsgs):
+            f.enqueue(bytes([k % 251]), meta=k, timeout=10)
+        t.join()
+        assert out == [(bytes([k % 251]), k) for k in range(nmsgs)]
+
+    def test_bcast_wraparound_with_straggling_reader(self):
+        import time
+
+        f = BcastFifo(slots=2, slot_bytes=8, consumers=2)
+        nmsgs = 30
+        results = [[], []]
+
+        def consume(i, stall_every):
+            cursor = f.consumer()
+            for k in range(nmsgs):
+                if stall_every and k % stall_every == 0:
+                    time.sleep(0.005)
+                results[i].append(cursor.read(timeout=10))
+
+        threads = [
+            threading.Thread(target=consume, args=(0, 0)),
+            threading.Thread(target=consume, args=(1, 7)),  # straggler
+        ]
+        for t in threads:
+            t.start()
+        for k in range(nmsgs):
+            f.enqueue(bytes([k % 251]) * 2, meta=k, timeout=10)
+        for t in threads:
+            t.join()
+        expected = [(bytes([k % 251]) * 2, k) for k in range(nmsgs)]
+        assert results[0] == expected
+        assert results[1] == expected
+
+    def test_bcast_producer_blocked_on_wrapped_slot_recovers(self):
+        """The producer times out on a wrapped-but-unretired slot, then
+        succeeds once the stalled reader catches up — no slot is ever
+        overwritten early."""
+        f = BcastFifo(slots=2, slot_bytes=4, consumers=1)
+        cursor = f.consumer()
+        f.enqueue(b"a", meta=0)
+        f.enqueue(b"b", meta=1)
+        # Both slots occupied and the reader is stalled: slot 0 cannot be
+        # reused yet.
+        with pytest.raises(TimeoutError):
+            f.enqueue(b"c", meta=2, timeout=0.05)
+        assert cursor.read(timeout=1) == (b"a", 0)
+        f.enqueue(b"c", meta=2, timeout=1)  # wraps into slot 0
+        assert cursor.read(timeout=1) == (b"b", 1)
+        assert cursor.read(timeout=1) == (b"c", 2)
+
+
 class TestFifoProperties:
     @given(
         payloads=st.lists(

@@ -127,6 +127,75 @@ class TestCompletionCounter:
             CompletionCounter(-1)
 
 
+class TestMessageCounterUnderStalls:
+    """Overflow edge cases with a stalled publisher or parked readers."""
+
+    def test_overflow_at_boundary_leaves_watermark_intact(self):
+        mc = make_counter(8)
+        mc.append(b"abcdefgh")  # exactly full: fine
+        with pytest.raises(ValueError):
+            mc.append(b"i")  # one past the end
+        # The failed append must not have moved the watermark or the data.
+        assert mc.arrived == 8
+        assert bytes(mc.buffer[:8]) == b"abcdefgh"
+
+    def test_overflow_while_readers_parked(self):
+        import time
+
+        data = b"x" * 64
+        mc = MessageCounter(np.zeros(64, dtype=np.uint8))
+        seen = []
+        errors = []
+
+        def reader():
+            try:
+                seen.append(mc.wait_for(64, timeout=10))
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        t = threading.Thread(target=reader)
+        t.start()
+        mc.append(data[:32])
+        time.sleep(0.02)  # publisher stalls mid-stream, reader stays parked
+        with pytest.raises(ValueError):
+            mc.append(b"y" * 64)  # would overflow past capacity
+        mc.append(data[32:])  # stall clears; the valid tail still lands
+        t.join()
+        assert not errors
+        assert seen == [64]
+        assert bytes(mc.buffer) == data
+
+    def test_stalled_publisher_delays_but_preserves_stream(self):
+        import time
+
+        data = bytes(range(200))
+        mc = MessageCounter(np.zeros(len(data), dtype=np.uint8))
+        acc = bytearray()
+        errors = []
+
+        def reader():
+            try:
+                local = 0
+                while local < len(data):
+                    watermark = mc.wait_for(local + 1, timeout=10)
+                    acc.extend(bytes(mc.buffer[local:watermark]))
+                    local = watermark
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        t = threading.Thread(target=reader)
+        t.start()
+        for off in range(0, len(data), 50):
+            if off == 100:
+                time.sleep(0.05)  # mid-stream publisher stall
+            mc.append(data[off:off + 50])
+        t.join()
+        assert not errors
+        # Already-published bytes stayed readable through the stall and
+        # the assembled stream is bit-exact.
+        assert bytes(acc) == data
+
+
 class TestMessageCounterProperties:
     @given(
         chunks=st.lists(st.binary(min_size=0, max_size=32), max_size=20),
