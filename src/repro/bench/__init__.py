@@ -6,6 +6,7 @@ from repro.bench.harness import (
     run_bcast,
     run_collective,
 )
+from repro.bench.parallel import ParallelExecutor, execute_points, resolve_jobs
 from repro.bench.profile import UtilizationReport, format_report, utilization_report
 from repro.bench.report import Series, format_table, speedup
 
@@ -20,6 +21,9 @@ def __getattr__(name):
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
+    "ParallelExecutor",
+    "execute_points",
+    "resolve_jobs",
     "run_collective",
     "run_bcast",
     "run_allreduce",

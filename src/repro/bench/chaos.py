@@ -18,13 +18,26 @@ Two layers live here:
 :func:`chaos_campaign`
     the seeded soak harness behind ``repro chaos``.  For every registered
     algorithm of the covered families it replays ``runs`` randomized fault
-    campaigns (schedules drawn from one ``numpy`` generator seeded from
-    ``--seed``, so a campaign is replayable from a single integer), plus
-    two *deterministic ladder scenarios* — permanent window-mapping
-    exhaustion stacked with a permanent counter stall — that force a full
-    Shaddr -> FIFO -> DMA walk on both the tree and torus chains.  Results,
-    including recovery-latency distributions, land in
-    ``BENCH_robustness.json``.
+    campaigns (each point's schedule drawn from a generator seeded by the
+    ``(seed, algorithm index, run)`` triple, so a campaign is replayable
+    from a single integer), plus two *deterministic ladder scenarios* —
+    permanent window-mapping exhaustion stacked with a permanent counter
+    stall — that force a full Shaddr -> FIFO -> DMA walk on both the tree
+    and torus chains.  Results, including recovery-latency distributions,
+    land in ``BENCH_robustness.json``.
+
+    Because every point reseeds from its own triple, points are mutually
+    independent: ``jobs=N`` fans them across worker processes
+    (:mod:`repro.bench.parallel`; each worker redraws its point's
+    schedule locally from the triple — no sim object crosses the process
+    boundary) and the merged report is identical to a serial campaign.
+
+Verification cost: the payload is built **once** per resilient run and
+reused across fallback attempts (``payload=`` on ``run_collective``), the
+root's result buffer is copy-on-write, and the bit-exactness checks
+compare through zero-copy ``memoryview`` casts
+(:func:`repro.util.buffers.same_bytes`) — a 2 MB chaos attempt no longer
+pays an extra O(n) payload copy per attempt.
 """
 
 from __future__ import annotations
@@ -34,7 +47,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.bench.harness import run_collective
+from repro.bench.harness import build_payload, run_collective
+from repro.bench.parallel import execute_points, resolve_jobs
 from repro.collectives.base import CollectiveResult
 from repro.collectives.registry import fallback_chain, iter_algorithms
 from repro.hardware.fault_schedule import (
@@ -86,6 +100,11 @@ def run_resilient_collective(
     """
     machine = machine_factory()
     chain = fallback_chain(family, algorithm, machine.ppn)
+    # One payload for every attempt: rebuilding x pseudo-random bytes per
+    # rung is pure waste (shapes depend only on geometry, which the
+    # factory fixes), and the harness never mutates it — the root's
+    # result buffer is copy-on-write over this very array.
+    payload = build_payload(machine, family, x, seed) if verify else None
     fallbacks: List[str] = []
     recovery_us = 0.0
     retries = 0
@@ -100,6 +119,7 @@ def run_resilient_collective(
                 machine, family, protocol, x,
                 root=root, iters=iters, verify=verify, seed=seed,
                 steady_state=False, deadline_us=deadline_us,
+                payload=payload,
             )
         except TransientFaultError as fault:
             fallbacks.append(protocol)
@@ -147,32 +167,83 @@ def _record(family: str, algorithm: str, mode: Mode, x: int,
     }
 
 
-def _ladder_scenarios(dims: Tuple[int, int, int]) -> List[dict]:
-    """Deterministic full-ladder walks: Shaddr -> FIFO -> DMA, forced.
+#: the deterministic full-ladder scenarios run by every campaign
+_LADDER_CASES: Tuple[Tuple[str, str, int], ...] = (
+    ("bcast", "torus-shaddr", 65536),
+    ("bcast", "tree-shaddr", 65536),
+)
 
-    A permanent (never-clearing) window-mapping exhaustion kills the
-    shared-address rung; a permanent counter stall kills the FIFO/shmem
-    rung, whose progress rides software message counters; the DMA rung
-    uses hardware byte counters and events, which neither fault touches,
-    and completes with a bit-correct payload.
+
+def chaos_point(spec: dict) -> dict:
+    """Worker task: replay one campaign point from its picklable spec.
+
+    Spawn-safety: the spec carries only names, dims and seed material —
+    the worker redraws the point's fault schedule from its
+    ``(seed, algorithm index, run)`` RNG triple (or rebuilds the
+    permanent-fault ladder schedule) and constructs machines locally, so
+    a parallel point is the exact computation the serial campaign runs.
+    Payload mismatches come back as ``{"mismatch": ...}`` records instead
+    of raising, preserving the serial campaign's keep-going behavior.
     """
-    schedule = FaultSchedule([
-        WindowFault(start=0.0, duration=None, node=None, slots_available=0),
-        CounterStall(start=0.0, duration=None, node=None),
-    ])
-    scenarios = []
-    for family, algorithm, x in (
-        ("bcast", "torus-shaddr", 65536),
-        ("bcast", "tree-shaddr", 65536),
-    ):
-        result = run_resilient_collective(
-            _machine_factory(dims, Mode.QUAD), family, algorithm, x,
-            schedule=schedule, verify=True,
+    dims = tuple(spec["dims"])
+    mode = Mode[spec["mode"]]
+    factory = _machine_factory(dims, mode)
+    if spec["scenario"] == "ladder":
+        # Permanent (never-clearing) window-mapping exhaustion kills the
+        # shared-address rung; a permanent counter stall kills the
+        # FIFO/shmem rung, whose progress rides software message
+        # counters; the DMA rung uses hardware byte counters and events,
+        # which neither fault touches, and completes bit-correct.
+        schedule = FaultSchedule([
+            WindowFault(start=0.0, duration=None, node=None,
+                        slots_available=0),
+            CounterStall(start=0.0, duration=None, node=None),
+        ])
+        x = spec["x"]
+        verify_seed = 1234
+        faults = None
+    else:
+        rng = np.random.default_rng(spec["rng_key"])
+        x = int(rng.choice(spec["sizes"]))
+        # Horizon chosen at collective scale (tens to hundreds of µs)
+        # so drawn windows actually overlap the run.
+        schedule = FaultSchedule.random(
+            rng, factory().nnodes, horizon_us=400.0, max_faults=3
         )
-        record = _record(family, algorithm, Mode.QUAD, x, result)
+        verify_seed = spec["verify_seed"]
+        faults = [f.label() for f in schedule.faults]
+    try:
+        result = run_resilient_collective(
+            factory, spec["family"], spec["algorithm"], x,
+            schedule=schedule, deadline_us=spec["deadline_us"],
+            verify=True, seed=verify_seed,
+        )
+    except AssertionError as mismatch:
+        return {
+            "mismatch": f"{spec['family']}/{spec['algorithm']}: {mismatch}"
+        }
+    record = _record(spec["family"], spec["algorithm"], mode, x, result)
+    if spec["scenario"] == "ladder":
         record["scenario"] = "permanent-window-fault+counter-stall"
-        scenarios.append(record)
-    return scenarios
+    else:
+        record["faults"] = faults
+    record["summary_line"] = str(result)
+    return record
+
+
+def _ladder_scenarios(dims: Tuple[int, int, int],
+                      jobs: Optional[int] = None) -> List[dict]:
+    """Deterministic full-ladder walks: Shaddr -> FIFO -> DMA, forced."""
+    specs = [
+        {"scenario": "ladder", "family": family, "algorithm": algorithm,
+         "x": x, "dims": dims, "mode": Mode.QUAD.name,
+         "deadline_us": DEFAULT_DEADLINE_US}
+        for family, algorithm, x in _LADDER_CASES
+    ]
+    records = execute_points(specs, jobs, task=chaos_point)
+    for record in records:
+        record.pop("summary_line", None)
+    return records
 
 
 def chaos_campaign(
@@ -184,58 +255,74 @@ def chaos_campaign(
     smoke: bool = False,
     out_path: Optional[str] = "BENCH_robustness.json",
     verbose: bool = True,
+    jobs: Optional[int] = None,
 ) -> dict:
     """Randomized fault campaigns over every registered campaign algorithm.
 
     Replayable from ``seed`` alone.  Returns (and, unless ``out_path`` is
     None, writes) the robustness report; ``smoke`` shrinks the sweep for
     CI.  Raises :class:`AssertionError` if any payload mismatched.
+
+    ``jobs`` fans the campaign's points — every (algorithm, run) pair
+    plus the two ladder scenarios — across worker processes.  Each point
+    reseeds its own generator from ``(seed, algorithm index, run)``, so
+    the schedule a worker draws is exactly the one the serial loop would
+    have drawn: the report (records, fault labels, summary counters) is
+    identical for any job count.
     """
     if smoke:
         runs = min(runs, 1)
     sizes = SMOKE_SIZE_CHOICES if smoke else SIZE_CHOICES
-    records: List[dict] = []
-    mismatches: List[str] = []
+    jobs = resolve_jobs(jobs)
 
     targets = [
         info for family in CAMPAIGN_FAMILIES
         for info in iter_algorithms(family)
         if info.data_carrying
     ]
-    for alg_index, info in enumerate(targets):
-        mode = _mode_for(info.modes)
-        factory = _machine_factory(dims, mode)
-        nnodes = factory().nnodes
-        for run in range(runs):
-            rng = np.random.default_rng([seed, alg_index, run])
-            x = int(rng.choice(sizes[info.family]))
-            # Horizon chosen at collective scale (tens to hundreds of µs)
-            # so drawn windows actually overlap the run.
-            schedule = FaultSchedule.random(
-                rng, nnodes, horizon_us=400.0, max_faults=3
-            )
-            try:
-                result = run_resilient_collective(
-                    factory, info.family, info.name, x,
-                    schedule=schedule, deadline_us=deadline_us,
-                    verify=True, seed=seed + run,
-                )
-            except AssertionError as mismatch:
-                mismatches.append(f"{info.family}/{info.name}: {mismatch}")
-                continue
-            record = _record(info.family, info.name, mode, x, result)
-            record["faults"] = [f.label() for f in schedule.faults]
-            records.append(record)
-            if verbose:
-                print(f"  {info.family}/{info.name} run {run}: {result}")
+    specs = [
+        {
+            "scenario": "random",
+            "family": info.family,
+            "algorithm": info.name,
+            "mode": _mode_for(info.modes).name,
+            "dims": dims,
+            "sizes": sizes[info.family],
+            "rng_key": [seed, alg_index, run],
+            "verify_seed": seed + run,
+            "deadline_us": deadline_us,
+        }
+        for alg_index, info in enumerate(targets)
+        for run in range(runs)
+    ] + [
+        {"scenario": "ladder", "family": family, "algorithm": algorithm,
+         "x": x, "dims": dims, "mode": Mode.QUAD.name,
+         "deadline_us": deadline_us}
+        for family, algorithm, x in _LADDER_CASES
+    ]
+    outcomes = execute_points(specs, jobs, task=chaos_point)
 
-    ladder = _ladder_scenarios(dims)
-    if verbose:
-        for record in ladder:
-            print(
-                f"  ladder {record['algorithm']}: "
-                f"{'>'.join(record['fallbacks'] + [record['completed_with']])}"
-            )
+    records: List[dict] = []
+    ladder: List[dict] = []
+    mismatches: List[str] = []
+    for spec, outcome in zip(specs, outcomes):
+        if "mismatch" in outcome:
+            mismatches.append(outcome["mismatch"])
+            continue
+        summary_line = outcome.pop("summary_line", None)
+        if spec["scenario"] == "ladder":
+            ladder.append(outcome)
+            if verbose:
+                print(
+                    f"  ladder {outcome['algorithm']}: "
+                    f"{'>'.join(outcome['fallbacks'] + [outcome['completed_with']])}"
+                )
+        else:
+            records.append(outcome)
+            if verbose:
+                run = spec["rng_key"][2]
+                print(f"  {spec['family']}/{spec['algorithm']} run {run}: "
+                      f"{summary_line}")
 
     all_records = records + ladder
     fallback_events = sum(len(r["fallbacks"]) for r in all_records)

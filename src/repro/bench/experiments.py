@@ -19,10 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.bench.harness import run_allreduce, run_bcast
+from repro.bench.parallel import execute_points
 from repro.bench.report import Series, format_table
-from repro.hardware.machine import Machine, Mode
-from repro.hardware.params import BGPParams
+from repro.hardware.machine import Mode
 from repro.util.units import KIB, MIB
 
 
@@ -51,9 +50,19 @@ class ExperimentResult:
         )
 
 
-def _machine(dims: Tuple[int, int, int], mode: Mode,
-             params: Optional[BGPParams] = None) -> Machine:
-    return Machine(torus_dims=dims, mode=mode, params=params)
+def _grid(specs: List[dict], series: List[Series], jobs: Optional[int],
+          metric: str = "bandwidth_mbs") -> None:
+    """Run a figure's (size x algorithm) grid and fill its series.
+
+    ``specs`` must be in size-major, series-minor order — the exact order
+    the historical serial loops measured in — and each spec carries an
+    independent simulation, so the grid fans across ``jobs`` worker
+    processes (:mod:`repro.bench.parallel`) with results merged back in
+    grid order: the regenerated figure is byte-identical to a serial run.
+    """
+    results = execute_points(specs, jobs)
+    for index, result in enumerate(results):
+        series[index % len(series)].add(getattr(result, metric))
 
 
 # --------------------------------------------------------------------------
@@ -63,6 +72,7 @@ def fig6_tree_latency(
     dims: Tuple[int, int, int] = (8, 16, 16),
     sizes: Sequence[int] = (4, 16, 64, 256, 1024),
     iters: int = 2,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Fig 6: ``CollectiveNetwork+Shmem`` vs ``+DMA FIFO`` vs ``(SMP)``.
 
@@ -76,10 +86,13 @@ def fig6_tree_latency(
         ("CollectiveNetwork (SMP)", "tree-smp", Mode.SMP),
     ]
     series = [Series(label) for label, _n, _m in algos]
-    for size in sizes:
-        for s, (_label, name, mode) in zip(series, algos):
-            result = run_bcast(_machine(dims, mode), name, size, iters=iters)
-            s.add(result.elapsed_us)
+    specs = [
+        {"family": "bcast", "algorithm": name, "x": size,
+         "dims": dims, "mode": mode.name, "iters": iters}
+        for size in sizes
+        for _label, name, mode in algos
+    ]
+    _grid(specs, series, jobs, metric="elapsed_us")
     shmem = series[0].values
     dma = series[1].values
     smp = series[2].values
@@ -101,6 +114,7 @@ def fig7_tree_bandwidth(
     sizes: Sequence[int] = (
         8 * KIB, 32 * KIB, 128 * KIB, 512 * KIB, 2 * MIB, 4 * MIB
     ),
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Fig 7: ``+Shaddr`` vs ``+DMA FIFO`` vs ``+DMA Direct Put`` vs SMP.
 
@@ -115,10 +129,13 @@ def fig7_tree_bandwidth(
         ("CollectiveNetwork (SMP)", "tree-smp", Mode.SMP),
     ]
     series = [Series(label) for label, _n, _m in algos]
-    for size in sizes:
-        for s, (_label, name, mode) in zip(series, algos):
-            result = run_bcast(_machine(dims, mode), name, size)
-            s.add(result.bandwidth_mbs)
+    specs = [
+        {"family": "bcast", "algorithm": name, "x": size,
+         "dims": dims, "mode": mode.name}
+        for size in sizes
+        for _label, name, mode in algos
+    ]
+    _grid(specs, series, jobs)
     shaddr = series[0].values
     dma_fifo = series[1].values
     dma_dput = series[2].values
@@ -142,6 +159,7 @@ def fig8_syscall_caching(
         1 * KIB, 8 * KIB, 32 * KIB, 128 * KIB, 512 * KIB, 2 * MIB, 4 * MIB
     ),
     iters: int = 4,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Fig 8: ``CollectiveNetwork+Shaddr`` with vs without mapping caching.
 
@@ -153,13 +171,14 @@ def fig8_syscall_caching(
         Series("CollectiveNetwork+Shaddr+caching"),
         Series("CollectiveNetwork+Shaddr+nocaching"),
     ]
-    for size in sizes:
-        for s, caching in zip(series, (True, False)):
-            result = run_bcast(
-                _machine(dims, Mode.QUAD), "tree-shaddr", size,
-                iters=iters, window_caching=caching,
-            )
-            s.add(result.bandwidth_mbs)
+    specs = [
+        {"family": "bcast", "algorithm": "tree-shaddr", "x": size,
+         "dims": dims, "mode": "QUAD", "iters": iters,
+         "window_caching": caching}
+        for size in sizes
+        for caching in (True, False)
+    ]
+    _grid(specs, series, jobs)
     ratios = [
         c / n for c, n in zip(series[0].values, series[1].values)
     ]
@@ -183,6 +202,7 @@ def fig9_scaling(
         (8192, (8, 16, 16)),
     ),
     sizes: Sequence[int] = (16 * KIB, 128 * KIB, 1 * MIB),
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Fig 9: ``CollectiveNetwork+Shaddr`` at 1024/2048/4096/8192 processes.
 
@@ -195,10 +215,13 @@ def fig9_scaling(
         Series(f"CollectiveNetwork+Shaddr({procs})")
         for procs, _dims in machines
     ]
-    for size in sizes:
-        for s, (_procs, dims) in zip(series, machines):
-            result = run_bcast(_machine(dims, Mode.QUAD), "tree-shaddr", size)
-            s.add(result.bandwidth_mbs)
+    specs = [
+        {"family": "bcast", "algorithm": "tree-shaddr", "x": size,
+         "dims": dims, "mode": "QUAD"}
+        for size in sizes
+        for _procs, dims in machines
+    ]
+    _grid(specs, series, jobs)
     # Spread of bandwidths across machine sizes at the largest message.
     last = [s.values[-1] for s in series]
     metrics = {
@@ -217,6 +240,7 @@ def fig10_torus_bandwidth(
     sizes: Sequence[int] = (
         64 * KIB, 128 * KIB, 256 * KIB, 512 * KIB, 1 * MIB, 2 * MIB, 4 * MIB
     ),
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Fig 10: ``Torus+Shaddr`` vs ``Torus+FIFO`` vs ``Torus Direct Put``
     (quad) vs ``Torus Direct Put (SMP)``.
@@ -233,10 +257,13 @@ def fig10_torus_bandwidth(
         ("Torus Direct Put(SMP)", "torus-direct-put-smp", Mode.SMP),
     ]
     series = [Series(label) for label, _n, _m in algos]
-    for size in sizes:
-        for s, (_label, name, mode) in zip(series, algos):
-            result = run_bcast(_machine(dims, mode), name, size)
-            s.add(result.bandwidth_mbs)
+    specs = [
+        {"family": "bcast", "algorithm": name, "x": size,
+         "dims": dims, "mode": mode.name}
+        for size in sizes
+        for _label, name, mode in algos
+    ]
+    _grid(specs, series, jobs)
     shaddr = series[0].values
     fifo = series[1].values
     dput = series[2].values
@@ -262,6 +289,7 @@ def table1_allreduce(
     counts: Sequence[int] = (
         16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024, 256 * 1024, 512 * 1024
     ),
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Table I: allreduce throughput (doubles), New vs Current.
 
@@ -271,10 +299,13 @@ def table1_allreduce(
     """
     series = [Series("New (MB/s)"), Series("Current (MB/s)")]
     names = ["allreduce-torus-shaddr", "allreduce-torus-current"]
-    for count in counts:
-        for s, name in zip(series, names):
-            result = run_allreduce(_machine(dims, Mode.QUAD), name, count)
-            s.add(result.bandwidth_mbs)
+    specs = [
+        {"family": "allreduce", "algorithm": name, "x": count,
+         "dims": dims, "mode": "QUAD"}
+        for count in counts
+        for name in names
+    ]
+    _grid(specs, series, jobs)
     new = series[0].values
     cur = series[1].values
     ratios = [n / c for n, c in zip(new, cur)]

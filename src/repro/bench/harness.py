@@ -312,6 +312,7 @@ def run_collective(
     seed: int = 1234,
     steady_state: Optional[bool] = None,
     deadline_us: Optional[float] = None,
+    payload: Optional[np.ndarray] = None,
 ) -> CollectiveResult:
     """Measure one collective of ``family`` with the Fig-5 loop.
 
@@ -321,6 +322,10 @@ def run_collective(
     :class:`FamilySpec`.  ``verify=True`` carries a pseudo-random payload
     through the simulated machine and asserts every rank received the
     correct bytes (slower; meant for tests and small configurations).
+    ``payload`` supplies that verification payload directly instead of
+    generating it from ``seed`` — callers that retry the same collective
+    (the chaos fallback ladder) build it once and reuse it across
+    attempts, skipping an O(x) regeneration per attempt.
     ``deadline_us`` (see :func:`_measure`) makes a stalled run raise
     :class:`TransientFaultError` instead of hanging in simulated time.
     """
@@ -342,13 +347,15 @@ def run_collective(
         cls = get_algorithm(family, algorithm)
     else:
         cls = algorithm
-    payload = None
-    if verify:
-        if spec.payload is None:
-            raise ValueError(
-                f"family {family!r} carries no payload; verify is not "
-                "supported"
-            )
+    if not verify:
+        if payload is not None:
+            raise ValueError("payload requires verify=True")
+    elif spec.payload is None:
+        raise ValueError(
+            f"family {family!r} carries no payload; verify is not "
+            "supported"
+        )
+    elif payload is None:
         payload = spec.payload(machine, x, np.random.default_rng(seed))
     if spec.working_set is not None:
         machine.set_working_set(spec.working_set(machine, x))
@@ -369,6 +376,22 @@ def run_collective(
         iterations_us=per_iter,
         retries=machine.faults.window_retries - retries_before,
     )
+
+
+def build_payload(machine: Machine, family: str, x: int,
+                  seed: int = 1234) -> np.ndarray:
+    """The verification payload :func:`run_collective` would generate.
+
+    Exposed so retrying callers (the chaos fallback ladder) can build the
+    payload once and pass it to every attempt via ``payload=`` instead of
+    regenerating ``x`` pseudo-random bytes per attempt.  Shapes depend
+    only on the machine's geometry, so the payload is reusable across the
+    fresh machines a retry loop builds.
+    """
+    spec = FAMILY_SPECS[family]
+    if spec.payload is None:
+        raise ValueError(f"family {family!r} carries no payload")
+    return spec.payload(machine, x, np.random.default_rng(seed))
 
 
 # -- per-family entry points (thin wrappers) ----------------------------

@@ -1,0 +1,318 @@
+"""Deterministic parallel execution of independent simulation points.
+
+Every figure and sweep in this repo is a grid of *independent* points —
+one (algorithm, message size, geometry) simulation each, fully
+deterministic given its spec.  That makes the drivers embarrassingly
+parallel: :class:`ParallelExecutor` fans point **specs** out to a pool of
+worker processes and merges the results back **in point order**, so the
+output of a parallel run is byte-identical to the serial run.
+
+Spawn-safety rule: *pickle specs, not machines*
+-----------------------------------------------
+
+Workers never receive live simulator objects.  A spec is a plain dict —
+geometry, mode, algorithm name, size, seeds — and the worker constructs
+its own :class:`~repro.hardware.machine.Machine` (and, for chaos points,
+its own ``FaultSchedule`` from the spec's RNG key) locally.  Everything
+crossing the process boundary is picklable under the ``spawn`` start
+method, so the executor works identically under ``fork`` (fast, the
+POSIX default) and ``spawn`` (the portable one).
+
+Determinism
+-----------
+
+* Results are merged by point index, never by completion order.
+* Workers keep a **warm machine per geometry** — reused across points
+  after :meth:`~repro.hardware.machine.Machine.rebase_time`, which
+  resets the clock origin so every point replays the exact float
+  arithmetic of a fresh machine (covered by
+  ``tests/test_parallel_executor.py``).
+* A worker exception fails only its point: the pool keeps draining the
+  other points, and the failed spec is re-run serially in the parent so
+  the exception surfaces with a real, debugger-usable traceback (the
+  worker's formatted traceback is attached as the cause).
+
+Job-count resolution: an explicit ``jobs`` argument wins, then the
+``REPRO_JOBS`` environment variable, then serial.  ``jobs <= 0`` means
+"one worker per CPU".  Serial mode (``jobs=1``) never touches
+``multiprocessing`` — it runs the task inline, point by point, exactly
+like the historical drivers.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.hardware.machine import Machine, Mode
+
+#: environment variable consulted when no explicit job count is given
+ENV_JOBS = "REPRO_JOBS"
+
+#: environment variable overriding the multiprocessing start method
+ENV_START_METHOD = "REPRO_MP_START"
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a worker count: argument > ``REPRO_JOBS`` > serial.
+
+    ``0`` or a negative count means "all CPUs".
+    """
+    if jobs is None:
+        env = os.environ.get(ENV_JOBS, "").strip()
+        if not env:
+            return 1
+        try:
+            jobs = int(env)
+        except ValueError as exc:
+            raise ValueError(
+                f"{ENV_JOBS} must be an integer, got {env!r}"
+            ) from exc
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+@dataclass
+class PointFailure:
+    """A point whose worker raised (only surfaced with ``on_error='return'``)."""
+
+    index: int
+    traceback: str
+
+    def __bool__(self) -> bool:  # failed points are falsy in result lists
+        return False
+
+
+class WorkerPointError(RuntimeError):
+    """Raised when a point fails both in the worker and on serial re-run."""
+
+
+# -- worker side ---------------------------------------------------------
+
+#: per-worker-process machine cache, keyed on geometry (see module doc)
+_MACHINES: Dict[Tuple, Machine] = {}
+
+
+def warm_machine(dims: Sequence[int], mode: str = "QUAD",
+                 wrap: bool = True) -> Machine:
+    """A pristine machine of the given geometry, reused across points.
+
+    The first request per (dims, mode, wrap) builds the machine; later
+    requests rebase its clock to the origin and hand it back.  After
+    :meth:`Machine.rebase_time` a reused machine replays bit-identical
+    float arithmetic to a fresh one, so points sharing a geometry skip
+    reconstruction without perturbing results.
+    """
+    key = (tuple(dims), mode, wrap)
+    machine = _MACHINES.get(key)
+    if machine is None:
+        machine = Machine(
+            torus_dims=tuple(dims), mode=Mode[mode], wrap=wrap
+        )
+        _MACHINES[key] = machine
+    else:
+        machine.rebase_time()
+    return machine
+
+
+def run_point(spec: dict):
+    """Worker task: measure one collective point described by ``spec``.
+
+    ``spec`` keys: ``family``, ``algorithm``, ``x`` plus the optional
+    ``dims``/``mode``/``wrap`` geometry and any keyword accepted by
+    :func:`repro.bench.harness.run_collective` (``iters``, ``verify``,
+    ``seed``, ``steady_state``, ``root``, ``window_caching``).
+    ``fresh_machine=True`` opts out of the warm-machine cache (required
+    for points that mutate machine-global state beyond a collective run).
+    """
+    from repro.bench.harness import run_collective
+
+    dims = tuple(spec.get("dims", (2, 2, 2)))
+    mode = spec.get("mode", "QUAD")
+    wrap = bool(spec.get("wrap", True))
+    # A barrier installs no working set, so a cached machine would leak
+    # the previous point's memory regime into it: always build fresh.
+    if spec.get("fresh_machine") or spec["family"] == "barrier":
+        machine = Machine(torus_dims=dims, mode=Mode[mode], wrap=wrap)
+    else:
+        machine = warm_machine(dims, mode, wrap)
+    kwargs = {
+        key: spec[key]
+        for key in ("root", "iters", "verify", "window_caching", "seed",
+                    "steady_state", "deadline_us")
+        if key in spec
+    }
+    return run_collective(
+        machine, spec["family"], spec["algorithm"], spec.get("x", 0), **kwargs
+    )
+
+
+def run_point_timed(spec: dict) -> Tuple[float, object]:
+    """:func:`run_point` plus the worker-side wall-clock seconds."""
+    start = time.perf_counter()
+    result = run_point(spec)
+    return time.perf_counter() - start, result
+
+
+def _run_chunk(task: Callable, chunk: List[Tuple[int, dict]]) -> List[tuple]:
+    """Worker entry: run a chunk of (index, spec) pairs, isolating crashes.
+
+    Returns ``(index, "ok", result)`` or ``(index, "error", traceback)``
+    per point — an exception never takes down the chunk's siblings or the
+    worker process.
+    """
+    out = []
+    for index, spec in chunk:
+        try:
+            out.append((index, "ok", task(spec)))
+        except Exception:
+            out.append((index, "error", traceback.format_exc()))
+    return out
+
+
+# -- parent side ---------------------------------------------------------
+
+class ParallelExecutor:
+    """Fan independent point specs across worker processes.
+
+    ``map(task, specs)`` returns ``[task(spec) for spec in specs]`` — same
+    values, same order — but computed by ``jobs`` worker processes.  The
+    pool is created lazily on first use and reused across ``map`` calls;
+    use the executor as a context manager (or call :meth:`close`) to shut
+    it down.
+
+    ``task`` must be a picklable module-level callable taking one spec
+    dict; specs and results must be picklable (see the module docstring's
+    spawn-safety rule).
+    """
+
+    def __init__(self, jobs: Optional[int] = None, *,
+                 start_method: Optional[str] = None,
+                 chunk_size: Optional[int] = None):
+        self.jobs = resolve_jobs(jobs)
+        self.start_method = (
+            start_method or os.environ.get(ENV_START_METHOD) or None
+        )
+        self.chunk_size = chunk_size
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -- lifecycle -------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            import multiprocessing
+
+            context = (
+                multiprocessing.get_context(self.start_method)
+                if self.start_method else multiprocessing.get_context()
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=context
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- scheduling ------------------------------------------------------
+    def _chunks(self, specs: Sequence[dict]) -> List[List[Tuple[int, dict]]]:
+        """Chunked scheduling: small chunks, dynamically dispatched.
+
+        Points have wildly uneven costs (the largest message of a sweep
+        dominates), so chunks are kept small — at least ``4 * jobs``
+        chunks when there are that many points — and handed to whichever
+        worker frees up first, rather than pre-partitioned statically.
+        """
+        size = self.chunk_size
+        if size is None:
+            size = max(1, len(specs) // (self.jobs * 4))
+        indexed = list(enumerate(specs))
+        return [indexed[i:i + size] for i in range(0, len(indexed), size)]
+
+    def map(self, task: Callable[[dict], object], specs: Sequence[dict],
+            *, on_error: str = "raise") -> List[object]:
+        """Run ``task`` over ``specs``; results ordered by spec index.
+
+        ``on_error='raise'``: a point that failed in its worker is re-run
+        serially in this process *after* the surviving points complete, so
+        the underlying exception propagates with a real traceback (the
+        worker's formatted traceback attached as ``__cause__``).
+        ``on_error='return'``: failed points come back as
+        :class:`PointFailure` entries instead (falsy, so
+        ``filter(None, ...)`` drops them).
+        """
+        if on_error not in ("raise", "return"):
+            raise ValueError(f"on_error must be raise|return, got {on_error!r}")
+        if self.jobs <= 1 or len(specs) <= 1:
+            return self._map_serial(task, specs, on_error)
+        pool = self._ensure_pool()
+        results: List[object] = [None] * len(specs)
+        failures: List[Tuple[int, str]] = []
+        pending = {
+            pool.submit(_run_chunk, task, chunk)
+            for chunk in self._chunks(specs)
+        }
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                for index, status, value in future.result():
+                    if status == "ok":
+                        results[index] = value
+                    else:
+                        failures.append((index, value))
+        for index, worker_tb in sorted(failures):
+            if on_error == "return":
+                results[index] = PointFailure(index, worker_tb)
+                continue
+            # Serial re-run: reproduces the failure with a real traceback
+            # (or recovers the point if the failure does not reproduce).
+            try:
+                results[index] = task(specs[index])
+            except Exception as exc:
+                raise WorkerPointError(
+                    f"point {index} failed in a worker and again on serial "
+                    f"re-run; worker traceback:\n{worker_tb}"
+                ) from exc
+        return results
+
+    def _map_serial(self, task, specs, on_error) -> List[object]:
+        results: List[object] = []
+        for index, spec in enumerate(specs):
+            if on_error == "return":
+                try:
+                    results.append(task(spec))
+                except Exception:
+                    results.append(PointFailure(index, traceback.format_exc()))
+            else:
+                results.append(task(spec))
+        return results
+
+
+def execute_points(specs: Sequence[dict], jobs: Optional[int] = None,
+                   *, task: Callable[[dict], object] = run_point,
+                   on_error: str = "raise") -> List[object]:
+    """One-shot convenience: map ``task`` over ``specs`` with ``jobs`` workers.
+
+    Serial (``jobs=1``) runs inline with **fresh machines per point** —
+    exactly the historical driver behavior; parallel workers use the
+    warm-machine cache (bit-identical, see module docstring).
+    """
+    resolved = resolve_jobs(jobs)
+    if resolved <= 1 or len(specs) <= 1:
+        if task in (run_point, run_point_timed):
+            specs = [{**spec, "fresh_machine": True} for spec in specs]
+        return ParallelExecutor(1).map(task, specs, on_error=on_error)
+    with ParallelExecutor(resolved) as executor:
+        return executor.map(task, specs, on_error=on_error)

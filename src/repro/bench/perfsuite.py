@@ -27,12 +27,22 @@ CLI::
 
     python -m repro.bench.perfsuite --smoke            # quick CI variant
     python -m repro.bench.perfsuite --label current    # full suite
+    python -m repro.bench.perfsuite --jobs 4           # parallel executor
     python -m repro.bench.perfsuite --no-steady        # opt out of the
                                                        # steady-state
                                                        # short-circuit
 
 ``--slow`` runs with ``REPRO_SIM_SLOWPATH=1`` (the reference from-scratch
 solver) — the configuration used to record the pre-optimisation baseline.
+
+``--jobs N`` fans every point of every sweep across ``N`` worker
+processes (see :mod:`repro.bench.parallel`); the simulated microseconds
+are bit-identical to a serial run — only the wall clock changes — and the
+entry records ``jobs`` (and the host CPU count) so parallel and serial
+records are distinguishable.  Per-point ``wall_s`` is measured inside the
+worker; the sweep-level ``wall_s`` is the sum of its points' (busy time,
+comparable across job counts), while the entry-level ``wall_s`` is the
+end-to-end suite wall clock the parallel run actually improves.
 """
 
 from __future__ import annotations
@@ -45,8 +55,7 @@ import sys
 import time
 from typing import Dict, List, Optional
 
-from repro.bench.harness import run_collective
-from repro.hardware.machine import Machine, Mode
+from repro.bench.parallel import execute_points, resolve_jobs, run_point_timed
 
 DEFAULT_OUT = "BENCH_core.json"
 
@@ -100,52 +109,94 @@ SMOKE_SWEEPS = {
     },
 }
 
-def run_sweep_timed(spec: dict, steady_state: Optional[bool] = None) -> dict:
-    """Run one sweep; returns wall-clock and simulated-time records."""
-    points: List[dict] = []
-    kwargs = {}
-    if steady_state is not None:
-        kwargs["steady_state"] = steady_state
-    sweep_start = time.perf_counter()
+def _point_specs(spec: dict, steady_state: Optional[bool]) -> List[dict]:
+    """The sweep's x values as independent executor point specs."""
+    specs = []
     for x in spec["xs"]:
-        machine = Machine(torus_dims=tuple(spec["dims"]), mode=Mode.QUAD)
-        t0 = time.perf_counter()
-        result = run_collective(
-            machine, spec["kind"], spec["algorithm"], x,
-            iters=spec["iters"], **kwargs,
-        )
-        points.append(
-            {
-                "x": x,
-                "wall_s": round(time.perf_counter() - t0, 4),
-                "elapsed_us": result.elapsed_us,
-            }
-        )
+        point = {
+            "family": spec["kind"],
+            "algorithm": spec["algorithm"],
+            "x": x,
+            "dims": tuple(spec["dims"]),
+            "mode": "QUAD",
+            "iters": spec["iters"],
+        }
+        if steady_state is not None:
+            point["steady_state"] = steady_state
+        specs.append(point)
+    return specs
+
+
+def _sweep_record(spec: dict, timed_points: List[tuple]) -> dict:
+    """Assemble one sweep's JSON record from (wall_s, result) pairs."""
+    points = [
+        {"x": x, "wall_s": round(wall, 4), "elapsed_us": result.elapsed_us}
+        for x, (wall, result) in zip(spec["xs"], timed_points)
+    ]
     return {
         "kind": spec["kind"],
         "algorithm": spec["algorithm"],
         "dims": list(spec["dims"]),
         "iters": spec["iters"],
-        "wall_s": round(time.perf_counter() - sweep_start, 4),
+        # busy seconds (sum over points), comparable across job counts;
+        # the end-to-end wall clock lives on the suite entry.
+        "wall_s": round(sum(p["wall_s"] for p in points), 4),
         "points": points,
     }
 
 
+def run_sweep_timed(spec: dict, steady_state: Optional[bool] = None,
+                    jobs: Optional[int] = None) -> dict:
+    """Run one sweep; returns wall-clock and simulated-time records."""
+    timed = execute_points(
+        _point_specs(spec, steady_state), jobs, task=run_point_timed
+    )
+    return _sweep_record(spec, timed)
+
+
 def run_suite(
-    smoke: bool = False, steady_state: Optional[bool] = None
+    smoke: bool = False, steady_state: Optional[bool] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, dict]:
-    """Run every sweep of the suite; returns ``{sweep_name: record}``."""
+    """Run every sweep of the suite; returns ``{sweep_name: record}``.
+
+    With ``jobs > 1`` every point of every sweep lands in one worker pool
+    — the whole suite is the unit of load balancing, so the longest
+    single point, not the longest sweep, bounds the wall clock.  The
+    suite-level metadata (recorded-at stamp, job count, host CPU count,
+    end-to-end wall seconds) rides along under the ``"__meta__"`` key,
+    consumed by :func:`save_entry`.
+    """
     sweeps = SMOKE_SWEEPS if smoke else SWEEPS
+    jobs = resolve_jobs(jobs)
+    # One stamp for the whole suite run; every entry written from this
+    # run carries it, no matter how long the sweeps take.
+    recorded_at = time.strftime("%Y-%m-%d %H:%M:%S")
+    suite_start = time.perf_counter()
+    all_specs: List[dict] = []
+    slices: Dict[str, tuple] = {}
+    for name, spec in sweeps.items():
+        points = _point_specs(spec, steady_state)
+        slices[name] = (len(all_specs), len(points))
+        all_specs.extend(points)
+    timed = execute_points(all_specs, jobs, task=run_point_timed)
     out: Dict[str, dict] = {}
     for name, spec in sweeps.items():
-        record = run_sweep_timed(spec, steady_state=steady_state)
+        offset, count = slices[name]
+        record = _sweep_record(spec, timed[offset:offset + count])
         out[name] = record
         print(
-            f"{name:18s} {record['wall_s']:8.2f}s wall  "
+            f"{name:18s} {record['wall_s']:8.2f}s busy  "
             + "  ".join(
                 f"{p['x']}B:{p['elapsed_us']:.1f}us" for p in record["points"]
             )
         )
+    out["__meta__"] = {
+        "recorded_at": recorded_at,
+        "jobs": jobs,
+        "cpus": os.cpu_count(),
+        "wall_s": round(time.perf_counter() - suite_start, 4),
+    }
     return out
 
 
@@ -163,10 +214,23 @@ def load_results(path: str) -> dict:
 
 
 def save_entry(path: str, label: str, sweeps: Dict[str, dict], smoke: bool) -> dict:
-    """Insert/replace one labelled entry in the results file."""
+    """Insert/replace one labelled entry in the results file.
+
+    ``sweeps`` is :func:`run_suite`'s return value; its ``"__meta__"``
+    rider (stamped once at suite start) becomes the entry's metadata, so
+    ``recorded_at`` reflects when the suite *ran*, not when it was saved,
+    and ``jobs``/``cpus``/``wall_s`` distinguish parallel records from
+    serial ones.
+    """
+    sweeps = dict(sweeps)
+    meta = sweeps.pop("__meta__", None) or {
+        "recorded_at": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "jobs": 1,
+        "cpus": os.cpu_count(),
+    }
     results = load_results(path)
     results.setdefault("entries", {})[label] = {
-        "recorded_at": time.strftime("%Y-%m-%d %H:%M:%S"),
+        **meta,
         "python": platform.python_version(),
         "smoke": smoke,
         "slowpath": os.environ.get("REPRO_SIM_SLOWPATH", "") == "1",
@@ -195,6 +259,18 @@ def speedup_table(results: dict, base: str = "baseline", new: str = "current") -
         b = record["wall_s"]
         n = entries[new]["sweeps"][name]["wall_s"]
         lines.append(f"{name:18s} {b:9.2f} {n:9.2f} {b / n:7.2f}x")
+    # Per-sweep rows compare busy seconds; the honest end-to-end number
+    # for a parallel run is the suite wall clock, when both entries have
+    # one (entries predating the parallel executor do not).
+    b_wall = entries[base].get("wall_s")
+    n_wall = entries[new].get("wall_s")
+    if b_wall and n_wall:
+        lines.append(
+            f"{'suite wall':18s} {b_wall:9.2f} {n_wall:9.2f} "
+            f"{b_wall / n_wall:7.2f}x  "
+            f"(jobs {entries[base].get('jobs', 1)} -> "
+            f"{entries[new].get('jobs', 1)})"
+        )
     return "\n".join(lines)
 
 
@@ -213,11 +289,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--slow", action="store_true",
         help="use the reference from-scratch solver (REPRO_SIM_SLOWPATH=1)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the point grid (default: REPRO_JOBS or "
+             "serial; 0 = one per CPU)",
+    )
     args = parser.parse_args(argv)
     if args.slow:
         os.environ["REPRO_SIM_SLOWPATH"] = "1"
     steady = False if args.no_steady else None
-    sweeps = run_suite(smoke=args.smoke, steady_state=steady)
+    sweeps = run_suite(smoke=args.smoke, steady_state=steady, jobs=args.jobs)
+    meta = sweeps.get("__meta__", {})
+    if meta:
+        print(
+            f"{'suite':18s} {meta['wall_s']:8.2f}s wall "
+            f"(jobs={meta['jobs']}, cpus={meta['cpus']})"
+        )
     results = save_entry(args.out, args.label, sweeps, args.smoke)
     print(f"\nwrote entry {args.label!r} to {args.out}")
     print(speedup_table(results))

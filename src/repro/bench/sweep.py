@@ -21,18 +21,23 @@ Any registered algorithm name of the kind works, plus ``"auto"``: the
 section-V selection table picks the protocol per x value, so the policy
 itself can be swept as a series.
 
-CLI: ``python -m repro sweep config.json [--out results.json]``.
+Every (algorithm, x) point is an independent deterministic simulation, so
+``run_sweep(config, jobs=N)`` fans the grid across ``N`` worker processes
+through :class:`~repro.bench.parallel.ParallelExecutor` and merges the
+results in point order — byte-identical output to ``jobs=1``.
+
+CLI: ``python -m repro sweep config.json [--out results.json] [--jobs N]``.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from repro.bench.harness import run_collective
+from repro.bench.parallel import execute_points
 from repro.bench.report import Series, format_table
-from repro.hardware.machine import Machine, Mode
+from repro.hardware.machine import Mode
 from repro.util.units import parse_size
 
 #: kind -> does x mean element count rather than bytes?  Every kind is
@@ -94,8 +99,14 @@ def _validate_config(config: dict) -> None:
         raise ValueError("algorithms and sizes must be non-empty")
 
 
-def run_sweep(config: dict) -> SweepResult:
-    """Execute the sweep described by ``config``."""
+def run_sweep(config: dict, jobs: Optional[int] = None) -> SweepResult:
+    """Execute the sweep described by ``config``.
+
+    ``jobs`` fans the (algorithm, x) grid across that many worker
+    processes (``None``: the ``REPRO_JOBS`` environment variable, else
+    serial).  Results are merged in grid order, so the returned
+    :class:`SweepResult` is identical whatever the job count.
+    """
     _validate_config(config)
     kind = config["kind"]
     machine_cfg = config.get("machine", {})
@@ -109,24 +120,27 @@ def run_sweep(config: dict) -> SweepResult:
         kind=kind,
         x_values=x_values,
     )
-    for algorithm in config["algorithms"]:
-        bandwidths: List[float] = []
-        times: List[float] = []
-        for x in x_values:
-            machine = Machine(
-                torus_dims=dims, mode=mode, wrap=wrap
-            )
-            # ``"auto"`` re-selects per x through the section-V table, so
-            # a sweep can plot the selection policy itself as a series.
-            measured = run_collective(machine, kind, algorithm, x, iters=iters)
-            bandwidths.append(measured.bandwidth_mbs)
-            times.append(measured.elapsed_us)
-        result.bandwidth[algorithm] = bandwidths
-        result.elapsed_us[algorithm] = times
+    # ``"auto"`` re-selects per x through the section-V table (inside the
+    # worker), so a sweep can plot the selection policy itself as a series.
+    specs = [
+        {
+            "family": kind, "algorithm": algorithm, "x": x,
+            "dims": dims, "mode": mode.name, "wrap": wrap, "iters": iters,
+        }
+        for algorithm in config["algorithms"]
+        for x in x_values
+    ]
+    measured = execute_points(specs, jobs)
+    for start, algorithm in zip(
+        range(0, len(specs), len(x_values)), config["algorithms"]
+    ):
+        points = measured[start:start + len(x_values)]
+        result.bandwidth[algorithm] = [p.bandwidth_mbs for p in points]
+        result.elapsed_us[algorithm] = [p.elapsed_us for p in points]
     return result
 
 
-def run_sweep_file(path: str) -> SweepResult:
+def run_sweep_file(path: str, jobs: Optional[int] = None) -> SweepResult:
     """Execute a sweep from a JSON config file."""
     with open(path) as handle:
-        return run_sweep(json.load(handle))
+        return run_sweep(json.load(handle), jobs=jobs)

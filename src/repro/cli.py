@@ -17,6 +17,11 @@ Commands
 ``params``
     Dump the calibrated model constants.
 
+``figure``, ``chaos`` and ``sweep`` accept ``--jobs N`` (or the
+``REPRO_JOBS`` env var) to fan their independent simulation points across
+worker processes; output is merged deterministically and is identical to
+a serial run (see ``docs/performance.md``).
+
 Examples
 --------
 ::
@@ -66,6 +71,15 @@ def _parse_mode(text: str) -> Mode:
         raise argparse.ArgumentTypeError(
             f"mode must be smp/dual/quad, got {text!r}"
         ) from exc
+
+
+def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for independent points (default: the "
+             "REPRO_JOBS env var, else serial; 0 = one per CPU); results "
+             "are merged deterministically, identical to serial",
+    )
 
 
 def _add_machine_args(parser: argparse.ArgumentParser) -> None:
@@ -181,6 +195,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--plot", action="store_true",
         help="also render the series as an ASCII chart",
     )
+    _add_jobs_arg(p)
 
     p = sub.add_parser(
         "chaos",
@@ -206,6 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="BENCH_robustness.json",
         help="robustness report path (default BENCH_robustness.json)",
     )
+    _add_jobs_arg(p)
 
     p = sub.add_parser(
         "sweep", help="run a JSON-configured parameter sweep"
@@ -215,6 +231,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--metric", default="bandwidth", choices=["bandwidth", "elapsed"]
     )
+    _add_jobs_arg(p)
 
     sub.add_parser("params", help="dump the calibrated model constants")
     return parser
@@ -342,7 +359,7 @@ def _cmd_figure(args) -> int:
         "fig10": experiments.fig10_torus_bandwidth,
         "table1": experiments.table1_allreduce,
     }[args.name]
-    result = runner()
+    result = runner(jobs=args.jobs)
     print(result.table())
     for key, value in result.metrics.items():
         print(f"{key}: {value:.3f}")
@@ -367,7 +384,7 @@ def _cmd_chaos(args) -> int:
 
     report = chaos_campaign(
         seed=args.seed, runs=args.runs, dims=args.dims,
-        smoke=args.smoke, out_path=args.out,
+        smoke=args.smoke, out_path=args.out, jobs=args.jobs,
     )
     summary = report["summary"]
     print(
@@ -382,7 +399,7 @@ def _cmd_chaos(args) -> int:
 def _cmd_sweep(args) -> int:
     from repro.bench.sweep import run_sweep_file
 
-    result = run_sweep_file(args.config)
+    result = run_sweep_file(args.config, jobs=args.jobs)
     metric = "bandwidth" if args.metric == "bandwidth" else "elapsed_us"
     print(f"== {result.name} ({result.kind}) ==")
     print(result.table(metric))

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.collectives.base import InvocationBase
 from repro.hardware.machine import Machine
+from repro.util.buffers import same_bytes
 
 
 class AllgatherInvocation(InvocationBase):
@@ -70,7 +71,7 @@ class AllgatherInvocation(InvocationBase):
         if not self.carry_data:
             raise RuntimeError("verify() requires carry_data=True")
         for rank in range(self.machine.nprocs):
-            if not np.array_equal(self.result_buffers[rank], self.expected):
+            if not same_bytes(self.result_buffers[rank], self.expected):
                 mismatch = int(
                     np.argmax(self.result_buffers[rank] != self.expected)
                 )

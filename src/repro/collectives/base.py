@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.hardware.machine import Machine
 from repro.kernel.windows import ProcessWindows
+from repro.util.buffers import same_bytes
 from repro.util.units import bandwidth_mbs
 
 
@@ -213,19 +214,28 @@ class BcastInvocation(InvocationBase):
                 f"payload is {payload.nbytes} B but nbytes={nbytes}"
             )
         self.payload = payload
-        #: rank -> delivered bytes (filled when carry_data)
+        #: rank -> delivered bytes (filled when carry_data).  The root
+        #: starts with the payload itself *by reference* — copy-on-write,
+        #: so a verify-carrying attempt pays no O(nbytes) copy unless an
+        #: algorithm actually writes into the root's buffer.
         self.result_buffers: Dict[int, np.ndarray] = {}
         if self.carry_data:
             for rank in range(machine.nprocs):
                 if rank == root:
-                    self.result_buffers[rank] = np.array(payload, copy=True)
+                    self.result_buffers[rank] = payload
                 else:
                     self.result_buffers[rank] = np.zeros(nbytes, dtype=np.uint8)
         self.setup()
 
     def write_result(self, rank: int, offset: int, data: np.ndarray) -> None:
         if self.carry_data:
-            self.result_buffers[rank][offset:offset + data.nbytes] = data
+            buffer = self.result_buffers[rank]
+            if buffer is self.payload:
+                # First write into the root's buffer: materialize the copy
+                # now so the caller-owned payload stays pristine.
+                buffer = np.array(self.payload, copy=True)
+                self.result_buffers[rank] = buffer
+            buffer[offset:offset + data.nbytes] = data
 
     def payload_slice(self, offset: int, size: int) -> Optional[np.ndarray]:
         if not self.carry_data:
@@ -237,7 +247,9 @@ class BcastInvocation(InvocationBase):
         if not self.carry_data:
             raise RuntimeError("verify() requires carry_data=True")
         for rank in range(self.machine.nprocs):
-            if not np.array_equal(self.result_buffers[rank], self.payload):
+            # memoryview-based: zero-copy, and O(1) for the root when no
+            # write ever displaced its shared reference to the payload.
+            if not same_bytes(self.result_buffers[rank], self.payload):
                 mismatch = int(
                     np.argmax(self.result_buffers[rank] != self.payload)
                 )

@@ -16,6 +16,7 @@ from repro.util.units import (
     parse_size,
     bandwidth_mbs,
 )
+from repro.util.buffers import same_bytes
 from repro.util.validation import (
     check_positive,
     check_non_negative,
@@ -36,6 +37,7 @@ __all__ = [
     "format_time_us",
     "parse_size",
     "bandwidth_mbs",
+    "same_bytes",
     "check_positive",
     "check_non_negative",
     "check_in_range",

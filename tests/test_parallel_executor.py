@@ -1,0 +1,252 @@
+"""The deterministic parallel sweep executor (``repro.bench.parallel``).
+
+Three guarantees under test:
+
+* **byte-identical merge** — fanning a sweep across worker processes
+  returns element-wise identical results to the serial run (same floats,
+  same order), for both collective networks;
+* **crash isolation** — a point whose worker raises fails only that
+  point: the pool survives, the other points complete, and the exception
+  surfaces with the worker's traceback attached;
+* **replayable campaigns** — a seeded chaos campaign run at ``jobs=2``
+  reproduces the serial campaign (and the committed
+  ``BENCH_robustness.json``) record-for-record.
+"""
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.bench.chaos import chaos_campaign
+from repro.bench.parallel import (
+    ParallelExecutor,
+    PointFailure,
+    WorkerPointError,
+    execute_points,
+    resolve_jobs,
+    run_point,
+    warm_machine,
+)
+from repro.bench.sweep import run_sweep
+from repro.hardware.machine import Machine, Mode
+from repro.util.buffers import same_bytes
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+# -- module-level tasks (workers import them by qualified name) ----------
+
+def _double_or_explode(spec):
+    if spec["x"] == 13:
+        raise ValueError("unlucky point 13")
+    return spec["x"] * 2
+
+
+# -- job resolution ------------------------------------------------------
+
+class TestResolveJobs:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_var_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(None) == 5
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_zero_means_all_cpus(self):
+        assert resolve_jobs(0) >= 1
+
+    def test_bad_env_var_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            resolve_jobs(None)
+
+
+# -- warm-machine reuse --------------------------------------------------
+
+class TestWarmMachine:
+    def test_reused_machine_is_bit_identical_to_fresh(self):
+        from repro.bench.harness import run_collective
+
+        fresh = run_collective(
+            Machine(torus_dims=(2, 2, 2), mode=Mode.QUAD),
+            "bcast", "tree-shaddr", 16384, iters=3,
+        )
+        # Prime the cache with an unrelated point, then reuse.
+        warm = warm_machine((2, 2, 2))
+        run_collective(warm, "bcast", "torus-shaddr", 4096, iters=2)
+        reused = run_collective(
+            warm_machine((2, 2, 2)), "bcast", "tree-shaddr", 16384, iters=3,
+        )
+        assert reused.elapsed_us == fresh.elapsed_us
+        assert reused.iterations_us == fresh.iterations_us
+
+    def test_cache_is_keyed_on_geometry(self):
+        a = warm_machine((2, 2, 1))
+        b = warm_machine((2, 2, 1), mode="SMP")
+        c = warm_machine((2, 2, 1))
+        assert a is not b
+        assert a is c
+
+
+# -- byte-identical parallel sweeps --------------------------------------
+
+class TestParallelSweepEquivalence:
+    def test_tree_bcast_sweep_matches_serial(self):
+        config = {
+            "name": "tree-equiv", "kind": "bcast",
+            "algorithms": ["tree-shaddr", "tree-dma-fifo"],
+            "sizes": ["4K", "16K"],
+            "machine": {"dims": [2, 2, 2]}, "iters": 2,
+        }
+        serial = run_sweep(config, jobs=1)
+        parallel = run_sweep(config, jobs=2)
+        assert parallel.elapsed_us == serial.elapsed_us
+        assert parallel.bandwidth == serial.bandwidth
+        assert parallel.x_values == serial.x_values
+
+    def test_torus_allreduce_sweep_matches_serial(self):
+        config = {
+            "name": "torus-equiv", "kind": "allreduce",
+            "algorithms": ["allreduce-torus-shaddr"],
+            "sizes": ["1K", "4K"],
+            "machine": {"dims": [2, 2, 2]}, "iters": 1,
+        }
+        serial = run_sweep(config, jobs=1)
+        parallel = run_sweep(config, jobs=2)
+        assert parallel.elapsed_us == serial.elapsed_us
+        assert parallel.bandwidth == serial.bandwidth
+
+    def test_spawn_start_method_point(self):
+        # The spawn-safety rule holds end to end: a spec crosses into a
+        # spawn-started interpreter and the result comes back intact.
+        spec = {"family": "bcast", "algorithm": "tree-shaddr", "x": 4096,
+                "dims": (2, 2, 1), "mode": "QUAD", "iters": 1}
+        serial = run_point({**spec, "fresh_machine": True})
+        with ParallelExecutor(2, start_method="spawn") as executor:
+            (remote,) = executor.map(run_point, [spec])
+        assert remote.elapsed_us == serial.elapsed_us
+        assert remote.algorithm == serial.algorithm
+
+
+# -- crash isolation -----------------------------------------------------
+
+class TestCrashIsolation:
+    def test_failed_point_surfaces_traceback_and_pool_survives(self):
+        with ParallelExecutor(2) as executor:
+            specs = [{"x": x} for x in (1, 13, 3, 4)]
+            with pytest.raises(WorkerPointError) as excinfo:
+                executor.map(_double_or_explode, specs)
+            # The worker's formatted traceback is carried along, and the
+            # serial re-run's real exception is the cause.
+            assert "unlucky point 13" in str(excinfo.value)
+            assert isinstance(excinfo.value.__cause__, ValueError)
+            # Same pool, next map: workers are still alive.
+            results = executor.map(
+                _double_or_explode, [{"x": x} for x in (5, 6, 7, 8)]
+            )
+            assert results == [10, 12, 14, 16]
+
+    def test_on_error_return_keeps_surviving_points(self):
+        with ParallelExecutor(2) as executor:
+            results = executor.map(
+                _double_or_explode,
+                [{"x": x} for x in (1, 13, 3)],
+                on_error="return",
+            )
+        assert results[0] == 2
+        assert results[2] == 6
+        assert isinstance(results[1], PointFailure)
+        assert results[1].index == 1
+        assert "unlucky point 13" in results[1].traceback
+        assert not results[1]  # falsy, so filter(None, ...) drops it
+        assert list(filter(None, results)) == [2, 6]
+
+    def test_serial_mode_raises_plainly(self):
+        with pytest.raises(ValueError, match="unlucky point 13"):
+            execute_points(
+                [{"x": 13}, {"x": 1}], jobs=1, task=_double_or_explode
+            )
+
+
+# -- parallel chaos campaigns --------------------------------------------
+
+class TestParallelChaos:
+    def test_jobs2_campaign_reproduces_serial_and_committed_summary(self):
+        committed = json.loads(
+            (REPO_ROOT / "BENCH_robustness.json").read_text()
+        )
+        meta = committed["meta"]
+        kwargs = dict(
+            seed=meta["seed"], runs=meta["runs_per_algorithm"],
+            dims=tuple(meta["dims"]), deadline_us=meta["deadline_us"],
+            out_path=None, verbose=False,
+        )
+        serial = chaos_campaign(jobs=1, **kwargs)
+        parallel = chaos_campaign(jobs=2, **kwargs)
+        assert parallel["summary"] == serial["summary"]
+        assert parallel["runs"] == serial["runs"]
+        assert parallel["ladder"] == serial["ladder"]
+        assert parallel["recovery_us"] == serial["recovery_us"]
+        # ... and both reproduce the committed robustness report.
+        assert parallel["summary"] == committed["summary"]
+
+
+# -- zero-copy comparison helper -----------------------------------------
+
+class TestSameBytes:
+    def test_equal_and_unequal_byte_buffers(self):
+        a = np.arange(256, dtype=np.uint8)
+        assert same_bytes(a, a.copy())
+        b = a.copy()
+        b[128] ^= 0xFF
+        assert not same_bytes(a, b)
+
+    def test_identity_short_circuits(self):
+        a = np.zeros(8, dtype=np.float64)
+        assert same_bytes(a, a)
+
+    def test_cross_dtype_byte_view(self):
+        a = np.array([1.5, -2.0])
+        assert same_bytes(a, a.view(np.uint8))
+        assert not same_bytes(a, np.array([1.5, 2.0]))
+
+    def test_non_contiguous_fallback(self):
+        base = np.arange(16, dtype=np.uint8)
+        assert same_bytes(base[::2], np.ascontiguousarray(base[::2]))
+        assert not same_bytes(base[::2], base[1::2])
+
+    def test_length_mismatch(self):
+        assert not same_bytes(
+            np.zeros(4, dtype=np.uint8), np.zeros(5, dtype=np.uint8)
+        )
+
+
+class TestCopyOnWriteRootBuffer:
+    def test_verifying_run_leaves_caller_payload_untouched(self):
+        from repro.bench.harness import build_payload, run_collective
+
+        machine = Machine(torus_dims=(2, 2, 1), mode=Mode.QUAD)
+        payload = build_payload(machine, "bcast", 8192, seed=99)
+        pristine = payload.copy()
+        run_collective(
+            machine, "bcast", "tree-shaddr", 8192,
+            verify=True, payload=payload,
+        )
+        assert same_bytes(payload, pristine)
+
+    def test_payload_without_verify_is_rejected(self):
+        from repro.bench.harness import run_collective
+
+        machine = Machine(torus_dims=(2, 2, 1), mode=Mode.QUAD)
+        with pytest.raises(ValueError, match="verify"):
+            run_collective(
+                machine, "bcast", "tree-shaddr", 64,
+                payload=np.zeros(64, dtype=np.uint8),
+            )
