@@ -62,6 +62,7 @@ from repro.collectives.base import CollectiveResult, InvocationBase
 from repro.collectives.registry import get_algorithm, select_protocol
 from repro.hardware.machine import Machine
 from repro.sim.engine import TransientFaultError
+from repro.telemetry.manifest import RunManifest
 
 
 def _measure(
@@ -368,7 +369,7 @@ def run_collective(
         machine, make_invocation, iters, verify, steady_state, deadline_us
     )
     per_iter = [max(row) for row in times]
-    return CollectiveResult(
+    result = CollectiveResult(
         algorithm=cls.name,
         nbytes=spec.nbytes(machine, x),
         nprocs=machine.nprocs,
@@ -376,6 +377,27 @@ def run_collective(
         iterations_us=per_iter,
         retries=machine.faults.window_retries - retries_before,
     )
+    # Every measured run carries its manifest: identity + deterministic
+    # metric rollups (no wall clock, no subprocess — see telemetry.manifest;
+    # git_rev is stamped only at export time).
+    recorder = machine.engine.telemetry
+    result.manifest = RunManifest(
+        family=family,
+        algorithm=cls.name,
+        dims=tuple(machine.torus.dims),
+        mode=machine.mode.name,
+        ppn=machine.ppn,
+        nprocs=machine.nprocs,
+        x=x,
+        nbytes=result.nbytes,
+        iters=iters,
+        seed=seed,
+        verify=verify,
+        elapsed_us=result.elapsed_us,
+        bandwidth_mbs=result.bandwidth_mbs,
+        rollups=recorder.rollups() if recorder is not None else {},
+    )
+    return result
 
 
 def build_payload(machine: Machine, family: str, x: int,

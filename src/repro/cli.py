@@ -14,6 +14,14 @@ Commands
 ``chaos``
     Run a seeded transient-fault campaign over the registered collectives
     and write ``BENCH_robustness.json``.
+``report``
+    Run one collective with telemetry attached and print the per-role /
+    per-stage / protocol breakdown; ``--compare`` gates the run's manifest
+    against a committed baseline, ``--check-bench`` gates two labelled
+    ``BENCH_core.json`` entries.
+``trace``
+    Run one collective with flow tracing (and telemetry role timelines)
+    and write a Chrome Trace Format JSON for ``chrome://tracing``.
 ``params``
     Dump the calibrated model constants.
 
@@ -224,6 +232,79 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_arg(p)
 
     p = sub.add_parser(
+        "report",
+        help="telemetry breakdown of one collective run (+ manifest gate)",
+    )
+    p.add_argument(
+        "--family", default="bcast", choices=sorted(_MEASURE_COMMANDS),
+        help="collective family (default bcast)",
+    )
+    p.add_argument(
+        "--algorithm", default="auto",
+        help="algorithm name or 'auto' (message-size policy)",
+    )
+    p.add_argument(
+        "--size", default="1M",
+        help="the family's size argument (bytes / elements / block)",
+    )
+    p.add_argument("--root", type=int, default=0)
+    p.add_argument(
+        "--seed", type=int, default=1234,
+        help="run seed recorded in the manifest (default 1234)",
+    )
+    p.add_argument(
+        "--compare", metavar="BASELINE",
+        help="gate the manifest against this baseline JSON; exits 1 on "
+             "drift beyond tolerance",
+    )
+    p.add_argument(
+        "--write-baseline", metavar="BASELINE",
+        help="record this run's manifest into the baseline JSON",
+    )
+    p.add_argument(
+        "--check-bench", metavar="BENCH_JSON",
+        help="instead of running: tolerance-gate two labelled entries of "
+             "a BENCH_core.json (see --base/--new)",
+    )
+    p.add_argument("--base", default=None,
+                   help="baseline entry label for --check-bench")
+    p.add_argument("--new", dest="new_label", default=None,
+                   help="candidate entry label for --check-bench")
+    p.add_argument(
+        "--tolerance", type=float, default=None,
+        help="relative drift tolerance for the gates (default: the "
+             "baseline file's, else 0.10)",
+    )
+    _add_machine_args(p)
+
+    p = sub.add_parser(
+        "trace",
+        help="write a Chrome Trace Format JSON of one collective run",
+    )
+    p.add_argument(
+        "--family", default="bcast", choices=sorted(_MEASURE_COMMANDS),
+        help="collective family (default bcast)",
+    )
+    p.add_argument(
+        "--algorithm", default="auto",
+        help="algorithm name or 'auto' (message-size policy)",
+    )
+    p.add_argument(
+        "--size", default="1M",
+        help="the family's size argument (bytes / elements / block)",
+    )
+    p.add_argument("--root", type=int, default=0)
+    p.add_argument(
+        "--out", default="trace.json",
+        help="output path (default trace.json)",
+    )
+    p.add_argument(
+        "--no-telemetry", action="store_true",
+        help="flow rows only: skip the role timelines and counter tracks",
+    )
+    _add_machine_args(p)
+
+    p = sub.add_parser(
         "sweep", help="run a JSON-configured parameter sweep"
     )
     p.add_argument("config", help="path to the sweep JSON config")
@@ -396,6 +477,95 @@ def _cmd_chaos(args) -> int:
     return 0 if summary["payload_mismatches"] == 0 else 1
 
 
+def _cmd_report(args) -> int:
+    import json
+
+    from repro.telemetry import (
+        compare_bench,
+        compare_with_baseline_file,
+        save_baseline,
+    )
+    from repro.telemetry import format_report as format_telemetry_report
+
+    if args.check_bench:
+        if not args.base or not args.new_label:
+            print("--check-bench requires --base and --new entry labels",
+                  file=sys.stderr)
+            return 2
+        with open(args.check_bench) as handle:
+            bench = json.load(handle)
+        tolerance = args.tolerance if args.tolerance is not None else 0.10
+        drifts = compare_bench(
+            bench, args.base, args.new_label, tolerance=tolerance
+        )
+        if drifts:
+            print(f"BENCH gate FAILED ({len(drifts)} drift(s)):")
+            for line in drifts:
+                print(f"  {line}")
+            return 1
+        print(
+            f"BENCH gate OK: {args.base!r} vs {args.new_label!r} within "
+            f"±{tolerance:.0%}"
+        )
+        return 0
+
+    machine = _machine(args)
+    recorder = machine.attach_telemetry()
+    result = run_collective(
+        machine, args.family, args.algorithm, parse_size(args.size),
+        root=args.root, iters=args.iters, verify=args.verify,
+        seed=args.seed,
+    )
+    manifest = result.manifest.stamped()
+    print(format_telemetry_report(manifest, recorder))
+    if args.profile:
+        print()
+        print(format_report(utilization_report(machine)))
+    status = 0
+    if args.write_baseline:
+        save_baseline(args.write_baseline, [manifest])
+        print(f"\nbaseline {manifest.spec_key!r} written to "
+              f"{args.write_baseline}")
+    if args.compare:
+        drifts = compare_with_baseline_file(
+            manifest, args.compare, tolerance=args.tolerance
+        )
+        print()
+        if drifts:
+            print(f"manifest gate FAILED ({len(drifts)} drift(s)):")
+            for line in drifts:
+                print(f"  {line}")
+            status = 1
+        else:
+            print(f"manifest gate OK vs {args.compare}")
+    return status
+
+
+def _cmd_trace(args) -> int:
+    from repro.sim.engine import Engine
+    from repro.sim.tracing import write_chrome_trace
+
+    engine = Engine(trace=True)
+    machine = Machine(
+        torus_dims=args.dims, mode=args.mode, engine=engine,
+        wrap=not args.mesh,
+    )
+    recorder = None if args.no_telemetry else machine.attach_telemetry()
+    result = run_collective(
+        machine, args.family, args.algorithm, parse_size(args.size),
+        root=args.root, iters=args.iters, verify=args.verify,
+    )
+    nevents = write_chrome_trace(
+        engine, args.out, telemetry=recorder,
+        l3_bytes=machine.params.l3_bytes,
+    )
+    print(result)
+    print(f"{nevents} duration events written to {args.out}")
+    if args.profile:
+        print(format_report(utilization_report(machine)))
+    return 0
+
+
 def _cmd_sweep(args) -> int:
     from repro.bench.sweep import run_sweep_file
 
@@ -424,6 +594,8 @@ _COMMANDS = {
     "predict": _cmd_predict,
     "figure": _cmd_figure,
     "chaos": _cmd_chaos,
+    "report": _cmd_report,
+    "trace": _cmd_trace,
     "sweep": _cmd_sweep,
     "params": _cmd_params,
 }

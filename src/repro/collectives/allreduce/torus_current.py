@@ -35,6 +35,7 @@ from repro.msg.pipeline import ChunkPlan
 from repro.msg.routes import ring_order
 from repro.sim.events import AllOf
 from repro.sim.sync import SimCounter
+from repro.telemetry.recorder import ROLE_DMA_WAIT
 
 
 @register("allreduce")
@@ -44,6 +45,7 @@ class TorusCurrentAllreduce(AllreduceInvocation):
     name = "allreduce-torus-current"
     network = "torus"
     ncolors = 3
+    trace_rows = (("lred.", "copy"), ("gather.", "dma"))
 
     def setup(self) -> None:
         machine = self.machine
@@ -174,7 +176,14 @@ class TorusCurrentAllreduce(AllreduceInvocation):
         if self.count == 0:
             return
         yield engine.timeout(params.mpi_overhead)
+        tel = engine.telemetry
+        if tel is not None:
+            tel.set_role(rank, ctx.node_index, ROLE_DMA_WAIT)
         if rank == self.root:
             self.net.open()
+        t0 = engine.now
         yield self.rank_received[rank].wait_for(self.nbytes)
+        if tel is not None:
+            tel.stall(t0, engine.now, rank, ctx.node_index,
+                      "waiting-on-counter")
         yield engine.timeout(params.dma_counter_poll)

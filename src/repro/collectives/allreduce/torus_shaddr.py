@@ -31,6 +31,7 @@ from repro.msg.pipeline import ChunkPlan
 from repro.msg.routes import ring_order
 from repro.sim.resources import Store
 from repro.sim.sync import SimCounter
+from repro.telemetry.recorder import ROLE_PROTOCOL, reduce_core_role
 
 
 @register("allreduce", modes=(4,), shared_address=True)
@@ -40,6 +41,7 @@ class TorusShaddrAllreduce(AllreduceInvocation):
     name = "allreduce-torus-shaddr"
     network = "torus"
     ncolors = 3
+    trace_rows = (("lred.", "copy"), ("lbcast.", "copy"))
 
     def setup(self) -> None:
         machine = self.machine
@@ -130,12 +132,15 @@ class TorusShaddrAllreduce(AllreduceInvocation):
         yield engine.timeout(params.mpi_overhead)
         node = ctx.node_index
         local = ctx.local_rank
+        tel = engine.telemetry
         if rank == self.root:
             self.net.open()
         if local == 0:
             # Master core: runs the network protocol (the ring additions are
             # charged to this node's protocol-core resource by RingReduce)
             # and publishes result arrivals to the worker cores.
+            if tel is not None:
+                tel.set_role(rank, node, ROLE_PROTOCOL)
             total = self.net.total_chunks_per_node
             for _ in range(total):
                 goff, size = yield self.mailbox[node].get()
@@ -144,13 +149,18 @@ class TorusShaddrAllreduce(AllreduceInvocation):
                 )
                 self.records[node].append((goff, size))
                 self.published[node].add(1)
+            t0 = engine.now
             yield self.completion[node].wait_for(machine.ppn - 1)
+            if tel is not None:
+                tel.stall(t0, engine.now, rank, node, "waiting-on-counter")
         else:
             # Worker core: owns color (local-1); locally reduces its
             # partition in pipeline chunks (accessing every local buffer
             # through mapped windows), then copies the full result out of
             # the master's buffer.
             c = local - 1
+            if tel is not None:
+                tel.set_role(rank, node, reduce_core_role(c))
             plan = ChunkPlan.build(self.parts[c], params.pipeline_width)
             for _k, off, size in plan.slices():
                 # Map each peer buffer at every access (cached -> free).
@@ -162,19 +172,31 @@ class TorusShaddrAllreduce(AllreduceInvocation):
                             self.nbytes,
                         )
                 # Sum the four local application buffers, no staging copies.
+                t0 = engine.now
                 yield from ctx.node.core_reduce(
                     size, machine.ppn, name=f"lred.c{c}"
                 )
+                if tel is not None:
+                    tel.copied(t0, engine.now, rank, node,
+                               reduce_core_role(c), "local-reduce", size)
                 yield engine.timeout(params.flag_cost)
                 self.contrib_ready[c][node].add(size)
             # Local broadcast: chase the master's software counters.
             total = self.net.total_chunks_per_node
             for i in range(total):
                 if self.published[node].value < i + 1:
+                    t0 = engine.now
                     yield self.published[node].wait_for(i + 1)
+                    if tel is not None:
+                        tel.stall(t0, engine.now, rank, node,
+                                  "waiting-on-counter")
                     yield engine.timeout(params.flag_cost)
                 goff, size = self.records[node][i]
+                t0 = engine.now
                 yield from ctx.node.core_copy(size, name=f"lbcast.l{local}")
+                if tel is not None:
+                    tel.copied(t0, engine.now, rank, node,
+                               reduce_core_role(c), "local-bcast", size)
                 data = self.payload_slice(goff, size)
                 if data is not None:
                     self.write_result(rank, goff, data)

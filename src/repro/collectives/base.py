@@ -48,6 +48,10 @@ class CollectiveResult:
     #: µs of simulated time spent on failed attempts before the protocol
     #: that finally completed (0.0 when the first choice succeeded)
     recovery_time: float = 0.0
+    #: :class:`repro.telemetry.manifest.RunManifest` attached by
+    #: :func:`repro.bench.harness.run_collective` (plain picklable data, so
+    #: results survive the parallel executor)
+    manifest: Optional["object"] = None
 
     @property
     def bandwidth_mbs(self) -> float:

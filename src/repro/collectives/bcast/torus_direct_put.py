@@ -23,6 +23,7 @@ from repro.collectives.bcast.torus_common import TorusBcastNetwork
 from repro.collectives.common import DmaDirectPutDistributor
 from repro.collectives.registry import register
 from repro.sim.sync import SimCounter
+from repro.telemetry.recorder import ROLE_DMA_WAIT
 
 
 @register("bcast")
@@ -64,14 +65,22 @@ class TorusDirectPutBcast(BcastInvocation):
         ctx = self.context(rank)
         if self.nbytes == 0:
             return
-        yield self.machine.engine.timeout(self.machine.params.mpi_overhead)
+        engine = self.machine.engine
+        tel = engine.telemetry
+        if tel is not None:
+            tel.set_role(rank, ctx.node_index, ROLE_DMA_WAIT)
+        yield engine.timeout(self.machine.params.mpi_overhead)
         if rank == self.root:
             self.net.open()
             # The root's own buffer is complete, but its peers still pull
             # through the DMA; the root returns once its local reception
             # state is consistent (counter poll).
             self.rank_received[rank].set_at_least(self.nbytes)
+        t0 = engine.now
         yield self.rank_received[rank].wait_for(self.nbytes)
+        if tel is not None:
+            tel.stall(t0, engine.now, rank, ctx.node_index,
+                      "waiting-on-counter")
         yield ctx.machine.engine.timeout(
             self.machine.params.dma_counter_poll
         )

@@ -37,6 +37,7 @@ from repro.collectives.registry import register
 from repro.msg.pipeline import split_chunks
 from repro.sim.resources import Store
 from repro.sim.sync import SimCounter
+from repro.telemetry.recorder import ROLE_COPIER, ROLE_PROTOCOL
 
 
 @register("bcast")
@@ -46,6 +47,7 @@ class TorusFifoBcast(BcastInvocation):
     name = "torus-fifo"
     network = "torus"
     ncolors = 6
+    trace_rows = (("bfifo.", "copy"),)
 
     def setup(self) -> None:
         machine = self.machine
@@ -110,28 +112,58 @@ class TorusFifoBcast(BcastInvocation):
             return
         nconsumers = machine.ppn - 1
         total_chunks = self.net.total_chunks_per_node
+        tel = engine.telemetry
         if is_master:
             # Master loop: observe the DMA counter, packetize each arrived
             # chunk into FIFO slots (staging copy at the FIFO copy rate).
+            if tel is not None:
+                tel.set_role(rank, node, ROLE_PROTOCOL)
             for seq in range(total_chunks):
                 color_id, goff, size = yield self.arrivals[node].get()
                 yield engine.timeout(params.dma_counter_poll)
                 # Space check: wait until the FIFO has room.
-                if seq - self.retired[node].value >= self.capacity:
+                contended = seq - self.retired[node].value >= self.capacity
+                if tel is not None:
+                    tel.fifo_fai(engine.now, f"n{node}.fifo", node, seq,
+                                 contended)
+                if contended:
+                    t0 = engine.now
                     yield self.retired[node].wait_for(seq - self.capacity + 1)
+                    if tel is not None:
+                        tel.stall(t0, engine.now, rank, node,
+                                  "waiting-on-slot")
                 yield engine.timeout(self._slot_costs(size))
+                t0 = engine.now
                 yield from ctx.node.fifo_copy(size, name="bfifo.in")
+                if tel is not None:
+                    tel.copied(t0, engine.now, rank, node, ROLE_PROTOCOL,
+                               "fifo.stage-in", size)
                 self.elements[node].append((color_id, goff, size))
                 self.readers_left[node].append(nconsumers)
                 self.visible[node].add(1)
+                if tel is not None:
+                    tel.fifo_depth(
+                        engine.now, f"n{node}.fifo", node,
+                        self.visible[node].value - self.retired[node].value,
+                    )
         else:
             # Consumer loop: read every multiplexed element in order.
+            if tel is not None:
+                tel.set_role(rank, node, ROLE_COPIER)
             for seq in range(total_chunks):
                 if self.visible[node].value < seq + 1:
+                    t0 = engine.now
                     yield self.visible[node].wait_for(seq + 1)
+                    if tel is not None:
+                        tel.stall(t0, engine.now, rank, node,
+                                  "waiting-on-counter")
                 _color_id, goff, size = self.elements[node][seq]
                 yield engine.timeout(params.atomic_op_cost)
+                t0 = engine.now
                 yield from ctx.node.fifo_copy(size, name="bfifo.out")
+                if tel is not None:
+                    tel.copied(t0, engine.now, rank, node, ROLE_COPIER,
+                               "fifo.copy-out", size)
                 data = self.payload_slice(goff, size)
                 if data is not None:
                     self.write_result(rank, goff, data)

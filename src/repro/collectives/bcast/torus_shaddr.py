@@ -31,6 +31,7 @@ from repro.collectives.bcast.torus_common import TorusBcastNetwork
 from repro.collectives.registry import register
 from repro.sim.resources import Store
 from repro.sim.sync import SimCounter
+from repro.telemetry.recorder import ROLE_COPIER, ROLE_PROTOCOL
 
 
 @register("bcast", shared_address=True)
@@ -40,6 +41,7 @@ class TorusShaddrBcast(BcastInvocation):
     name = "torus-shaddr"
     network = "torus"
     ncolors = 6
+    trace_rows = (("shaddr.", "copy"),)
 
     def setup(self) -> None:
         machine = self.machine
@@ -89,8 +91,11 @@ class TorusShaddrBcast(BcastInvocation):
             return
         master = self._master_rank(node)
         npeers = machine.ppn - 1
+        tel = engine.telemetry
         if rank == master:
             # Master: mirror the DMA counters into the shared S/W counter.
+            if tel is not None:
+                tel.set_role(rank, node, ROLE_PROTOCOL)
             total_chunks = self.net.total_chunks_per_node
             for _ in range(total_chunks):
                 goff, size = yield self.mailbox[node].get()
@@ -101,24 +106,37 @@ class TorusShaddrBcast(BcastInvocation):
                 self.arrived[node].append((goff, size))
                 self.sw_published[node].add(1)
             # Wait for the completion counter before reusing the buffer.
+            t0 = engine.now
             yield self.completion[node].wait_for(npeers)
+            if tel is not None:
+                tel.stall(t0, engine.now, rank, node, "waiting-on-counter")
         else:
             # Peer: chase the software counter, copying directly out of the
             # master's mapped application buffer.  The buffer is mapped at
             # every access — two system calls each time unless the window
             # service caches the mapping (the Fig-8 knob).
+            if tel is not None:
+                tel.set_role(rank, node, ROLE_COPIER)
             master_local = machine.rank_to_local(master)
             total_chunks = self.net.total_chunks_per_node
             for i in range(total_chunks):
                 if self.sw_published[node].value < i + 1:
+                    t0 = engine.now
                     yield self.sw_published[node].wait_for(i + 1)
+                    if tel is not None:
+                        tel.stall(t0, engine.now, rank, node,
+                                  "waiting-on-counter")
                     # Observation latency of the peer's local poll loop.
                     yield engine.timeout(params.flag_cost)
                 goff, size = self.arrived[node][i]
                 yield from ctx.windows.map_buffer(
                     master_local, ("bcast-buf", master), self.nbytes
                 )
+                t0 = engine.now
                 yield from ctx.node.core_copy(size, name=f"shaddr.r{rank}")
+                if tel is not None:
+                    tel.copied(t0, engine.now, rank, node, ROLE_COPIER,
+                               "shaddr.copy-out", size)
                 data = self.payload_slice(goff, size)
                 if data is not None:
                     self.write_result(rank, goff, data)

@@ -27,6 +27,7 @@ from repro.collectives.base import BcastInvocation
 from repro.collectives.registry import register
 from repro.hardware.tree import TreeOperation
 from repro.sim.events import Event
+from repro.telemetry.recorder import ROLE_COPIER, ROLE_DMA_WAIT, ROLE_MASTER
 
 
 class _TreeDmaBase(BcastInvocation):
@@ -65,6 +66,15 @@ class _TreeDmaBase(BcastInvocation):
         node = ctx.node_index
         master = self._master_rank(node)
         peers = [r for r in machine.node_ranks(node) if r != master]
+        tel = engine.telemetry
+        if tel is not None:
+            if rank == master:
+                tel.set_role(rank, node, ROLE_MASTER)
+            else:
+                tel.set_role(
+                    rank, node,
+                    ROLE_COPIER if self.use_memory_fifo else ROLE_DMA_WAIT,
+                )
         if rank == master:
             yield engine.timeout(params.tree_inject_startup)
             offset = 0
@@ -93,11 +103,18 @@ class _TreeDmaBase(BcastInvocation):
             offset = 0
             for k in range(self.op.nchunks):
                 size = self.op.chunks[k]
+                t0 = engine.now
                 yield self.chunk_landed[rank][k]
+                if tel is not None:
+                    tel.stall(t0, engine.now, rank, node, "waiting-on-counter")
                 if self.use_memory_fifo:
                     # Copy the payload out of the reception memory FIFO.
                     yield engine.timeout(params.dma_fifo_overhead)
+                    t0 = engine.now
                     yield from ctx.node.fifo_copy(size, name="fifo-out")
+                    if tel is not None:
+                        tel.copied(t0, engine.now, rank, node, ROLE_COPIER,
+                                   "fifo.copy-out", size)
                 else:
                     # Direct put: data is already in place; observe counter.
                     yield engine.timeout(params.dma_counter_poll)
@@ -113,6 +130,7 @@ class TreeDmaFifoBcast(_TreeDmaBase):
 
     name = "tree-dma-fifo"
     use_memory_fifo = True
+    trace_rows = (("fifo-out", "copy"),)
 
 
 @register("bcast", modes=(2, 4))

@@ -25,6 +25,11 @@ from repro.collectives.base import BcastInvocation
 from repro.collectives.registry import register
 from repro.hardware.tree import TreeOperation
 from repro.sim.sync import SimCounter
+from repro.telemetry.recorder import (
+    ROLE_COPIER,
+    ROLE_INJECTOR,
+    ROLE_RECEIVER,
+)
 
 
 @register("bcast", modes=(4,), shared_address=True)
@@ -33,6 +38,7 @@ class TreeShaddrBcast(BcastInvocation):
 
     name = "tree-shaddr"
     network = "tree"
+    trace_rows = (("shaddr.", "copy"),)
 
     def setup(self) -> None:
         machine = self.machine
@@ -74,22 +80,38 @@ class TreeShaddrBcast(BcastInvocation):
         node = ctx.node_index
         local = ctx.local_rank
         nchunks = self.op.nchunks
+        tel = engine.telemetry
         if local == 0:
             # Injection process: drives the tree from its application buffer
             # (the global root injects payload; everyone else zeros).
+            if tel is not None:
+                tel.set_role(rank, node, ROLE_INJECTOR)
             yield engine.timeout(params.tree_inject_startup)
             for k in range(nchunks):
+                t0 = engine.now
                 yield from self.op.inject(node, k)
+                if tel is not None:
+                    tel.copied(t0, engine.now, rank, node, ROLE_INJECTOR,
+                               "tree.inject", self.op.chunks[k])
             if rank != self.root:
                 # Its own copy arrives via rank 2's extra copy.
+                t0 = engine.now
                 yield self.injector_filled[node].wait_for(nchunks)
+                if tel is not None:
+                    tel.stall(t0, engine.now, rank, node, "waiting-on-counter")
         elif local == 1:
             # Reception process: drains straight into its application
             # buffer and publishes the software counter.
+            if tel is not None:
+                tel.set_role(rank, node, ROLE_RECEIVER)
             offset = 0
             for k in range(nchunks):
                 size = self.op.chunks[k]
+                t0 = engine.now
                 yield from self.op.receive(node, k)
+                if tel is not None:
+                    tel.copied(t0, engine.now, rank, node, ROLE_RECEIVER,
+                               "tree.receive", size)
                 data = self.payload_slice(offset, size)
                 if data is not None:
                     self.write_result(rank, offset, data)
@@ -99,13 +121,19 @@ class TreeShaddrBcast(BcastInvocation):
         else:
             # Copy processes: rank 2 copies to itself and to rank 0;
             # rank 3 copies to itself only.
+            if tel is not None:
+                tel.set_role(rank, node, ROLE_COPIER)
             reception_rank = machine.node_ranks(node)[1]
             injection_rank = machine.node_ranks(node)[0]
             offset = 0
             for k in range(nchunks):
                 size = self.op.chunks[k]
                 if self.sw_counter[node].value < k + 1:
+                    t0 = engine.now
                     yield self.sw_counter[node].wait_for(k + 1)
+                    if tel is not None:
+                        tel.stall(t0, engine.now, rank, node,
+                                  "waiting-on-counter")
                     yield engine.timeout(params.flag_cost)
                 # Map the reception (and, for rank 2, the injection) buffer
                 # at every access; the window cache makes repeats free.
@@ -116,13 +144,21 @@ class TreeShaddrBcast(BcastInvocation):
                     yield from ctx.windows.map_buffer(
                         0, ("bcast-buf", injection_rank), self.nbytes
                     )
+                t0 = engine.now
                 yield from ctx.node.core_copy(size, name=f"shaddr.l{local}")
+                if tel is not None:
+                    tel.copied(t0, engine.now, rank, node, ROLE_COPIER,
+                               "shaddr.copy-out", size)
                 data = self.payload_slice(offset, size)
                 if data is not None:
                     self.write_result(rank, offset, data)
                 if local == 2:
                     # The additional copy into the injection process.
+                    t0 = engine.now
                     yield from ctx.node.core_copy(size, name="shaddr.inj")
+                    if tel is not None:
+                        tel.copied(t0, engine.now, rank, node, ROLE_COPIER,
+                                   "shaddr.extra-copy", size)
                     if data is not None:
                         self.write_result(injection_rank, offset, data)
                     self.injector_filled[node].add(1)

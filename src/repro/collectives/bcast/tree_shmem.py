@@ -22,6 +22,7 @@ from repro.collectives.registry import register
 from repro.hardware.tree import TreeOperation
 from repro.kernel.shmem import SharedSegment
 from repro.sim.sync import SimCounter
+from repro.telemetry.recorder import ROLE_COPIER, ROLE_MASTER
 
 
 @register("bcast", modes=(2, 4))
@@ -30,6 +31,7 @@ class TreeShmemBcast(BcastInvocation):
 
     name = "tree-shmem"
     network = "tree"
+    trace_rows = (("shmem-", "copy"),)
 
     def setup(self) -> None:
         machine = self.machine
@@ -60,7 +62,10 @@ class TreeShmemBcast(BcastInvocation):
         yield engine.timeout(params.mpi_overhead)
         node = ctx.node_index
         master = machine.node_ranks(node)[0]
+        tel = engine.telemetry
         if rank == master:
+            if tel is not None:
+                tel.set_role(rank, node, ROLE_MASTER)
             yield engine.timeout(params.tree_inject_startup)
             offset = 0
             for k in range(self.op.nchunks):
@@ -76,19 +81,33 @@ class TreeShmemBcast(BcastInvocation):
                 self.staged[node].add(1)
                 # The master's own buffer also needs the payload (a short
                 # copy out of the segment — it received into staging).
+                t0 = engine.now
                 yield from ctx.node.core_copy(size, name="shmem-self")
+                if tel is not None:
+                    tel.copied(t0, engine.now, rank, node, ROLE_MASTER,
+                               "shmem.copy-self", size)
                 if data is not None and rank != self.root:
                     self.write_result(rank, offset, data)
                 offset += size
         else:
+            if tel is not None:
+                tel.set_role(rank, node, ROLE_COPIER)
             offset = 0
             for k in range(self.op.nchunks):
                 size = self.op.chunks[k]
                 if self.staged[node].value < k + 1:
+                    t0 = engine.now
                     yield self.staged[node].wait_for(k + 1)
+                    if tel is not None:
+                        tel.stall(t0, engine.now, rank, node,
+                                  "waiting-on-counter")
                     yield engine.timeout(params.flag_cost)
                 yield engine.timeout(params.shmem_chunk_overhead)
+                t0 = engine.now
                 yield from ctx.node.core_copy(size, name="shmem-out")
+                if tel is not None:
+                    tel.copied(t0, engine.now, rank, node, ROLE_COPIER,
+                               "shmem.copy-out", size)
                 if self.carry_data:
                     self.write_result(
                         rank,

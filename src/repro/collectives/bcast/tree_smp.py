@@ -23,6 +23,7 @@ from repro.collectives.base import BcastInvocation
 from repro.collectives.registry import register
 from repro.hardware.tree import TreeOperation
 from repro.sim.events import Event
+from repro.telemetry.recorder import ROLE_RECEIVER
 
 
 @register("bcast", modes=(1,))
@@ -64,11 +65,19 @@ class TreeSmpBcast(BcastInvocation):
         engine = machine.engine
         yield engine.timeout(machine.params.mpi_overhead)
         node = ctx.node_index
+        tel = engine.telemetry
+        if tel is not None:
+            # The main MPI thread drains; the helper coroutine injects.
+            tel.set_role(rank, node, ROLE_RECEIVER)
         self.node_entered[node].trigger(None)
         offset = 0
         for k in range(self.op.nchunks):
             size = self.op.chunks[k]
+            t0 = engine.now
             yield from self.op.receive(node, k)
+            if tel is not None:
+                tel.copied(t0, engine.now, rank, node, ROLE_RECEIVER,
+                           "tree.receive", size)
             if rank != self.root:
                 data = self.payload_slice(offset, size)
                 if data is not None:

@@ -122,6 +122,9 @@ class Machine:
             node.set_regime(regime)
         for hook in self._reapply_hooks:
             hook()
+        tel = self.engine.telemetry
+        if tel is not None:
+            tel.working_set(self.engine.now, nbytes)
         return regime
 
     def add_reapply_hook(self, hook: Callable[[], None]) -> None:
@@ -134,6 +137,25 @@ class Machine:
             self._reapply_hooks.remove(hook)
         except ValueError:
             pass
+
+    # -- telemetry ---------------------------------------------------------
+    def attach_telemetry(self, recorder=None):
+        """Attach a :class:`~repro.telemetry.recorder.TelemetryRecorder`.
+
+        Creates one if ``recorder`` is None; returns the attached recorder.
+        Recording is purely observational — timings are bit-identical with
+        or without it — so it is safe to attach before any measured run.
+        """
+        if recorder is None:
+            from repro.telemetry.recorder import TelemetryRecorder
+            recorder = TelemetryRecorder()
+        self.engine.telemetry = recorder
+        return recorder
+
+    def detach_telemetry(self):
+        """Detach and return the current recorder (None if absent)."""
+        recorder, self.engine.telemetry = self.engine.telemetry, None
+        return recorder
 
     # -- conveniences ------------------------------------------------------
     def spawn(self, generator, name: str = "?") -> Process:

@@ -95,8 +95,16 @@ class SimPtPFifo:
         myslot = self._tail_reserved
         self._tail_reserved += 1
         # Space check: (myslot - Head) < fifoSize, waiting if full.
-        if myslot - self._head.value >= self.slots:
+        contended = myslot - self._head.value >= self.slots
+        tel = engine.telemetry
+        if tel is not None:
+            tel.fifo_fai(engine.now, self.name, node.index, myslot, contended)
+        if contended:
+            stall_start = engine.now
             yield self._head.wait_for(myslot - self.slots + 1)
+            if tel is not None:
+                tel.stall(stall_start, engine.now, None, node.index,
+                          "waiting-on-slot")
         message = _Message(engine, np.array(payload, copy=True), meta, 1)
         self._messages[myslot] = message
         yield engine.timeout(params.shmem_chunk_overhead)
@@ -104,6 +112,9 @@ class SimPtPFifo:
         yield engine.timeout(params.flag_cost)  # write-completion flag
         message.write_done.trigger(None)
         self._visible.add(1)
+        if tel is not None:
+            tel.fifo_depth(engine.now, self.name, node.index,
+                           self._visible.value - self._head.value)
 
     def dequeue(self, node: "Node"):
         """Sub-generator: the single consumer core dequeues the next message.
@@ -122,6 +133,10 @@ class SimPtPFifo:
         yield engine.timeout(params.atomic_op_cost)  # increment Head
         del self._messages[seq]
         self._head.add(1)
+        tel = engine.telemetry
+        if tel is not None:
+            tel.fifo_depth(engine.now, self.name, node.index,
+                           self._visible.value - self._head.value)
         return message.payload, message.meta
 
 
@@ -170,8 +185,16 @@ class SimBcastFifo:
         yield engine.timeout(params.atomic_op_cost)  # fetch-and-inc Tail
         myslot = self._tail_reserved
         self._tail_reserved += 1
-        if myslot - self._head.value >= self.slots:
+        contended = myslot - self._head.value >= self.slots
+        tel = engine.telemetry
+        if tel is not None:
+            tel.fifo_fai(engine.now, self.name, node.index, myslot, contended)
+        if contended:
+            stall_start = engine.now
             yield self._head.wait_for(myslot - self.slots + 1)
+            if tel is not None:
+                tel.stall(stall_start, engine.now, None, node.index,
+                          "waiting-on-slot")
         message = _Message(
             engine, np.array(payload, copy=True), meta, self.consumers
         )
@@ -182,6 +205,9 @@ class SimBcastFifo:
         yield engine.timeout(params.atomic_op_cost + params.flag_cost)
         message.write_done.trigger(None)
         self._visible.add(1)
+        if tel is not None:
+            tel.fifo_depth(engine.now, self.name, node.index,
+                           self._visible.value - self._head.value)
         return myslot
 
     def dequeue(self, node: "Node", seq: int):
@@ -204,4 +230,8 @@ class SimBcastFifo:
             yield engine.timeout(params.atomic_op_cost)  # increment Head
             del self._messages[seq]
             self._head.add(1)
+            tel = engine.telemetry
+            if tel is not None:
+                tel.fifo_depth(engine.now, self.name, node.index,
+                               self._visible.value - self._head.value)
         return message.payload, message.meta

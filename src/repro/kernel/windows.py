@@ -109,6 +109,12 @@ class ProcessWindows:
             if cached is not None and cached.nbytes >= nbytes:
                 self._cache.move_to_end(key)
                 self.cache_hits += 1
+                tel = self.machine.engine.telemetry
+                if tel is not None:
+                    tel.window_event(
+                        self.machine.engine.now, self.node, peer, "hit",
+                        cached.slots,
+                    )
                 return cached
         cost = 2.0 * self.params.syscall_cost * slots
         policy = self.machine.retry_policy
@@ -135,6 +141,11 @@ class ProcessWindows:
             attempt += 1
         self.mappings_installed += 1
         mapping = WindowMapping(peer, buffer_key, nbytes, slots)
+        tel = self.machine.engine.telemetry
+        if tel is not None:
+            tel.window_event(
+                self.machine.engine.now, self.node, peer, "map", slots
+            )
         if self.caching:
             self._evict_for(peer, slots)
             self._cache[key] = mapping
@@ -158,7 +169,13 @@ class ProcessWindows:
         while used() + slots > budget:
             for (p, k) in self._cache:  # OrderedDict: oldest first
                 if p == peer:
-                    del self._cache[(p, k)]
+                    evicted = self._cache.pop((p, k))
+                    tel = self.machine.engine.telemetry
+                    if tel is not None:
+                        tel.window_event(
+                            self.machine.engine.now, self.node, p, "unmap",
+                            evicted.slots,
+                        )
                     break
             else:
                 break
@@ -168,4 +185,11 @@ class ProcessWindows:
 
     def invalidate(self, peer: int, buffer_key: Hashable) -> None:
         """Drop a cached mapping (e.g. the application freed the buffer)."""
-        self._cache.pop((peer, buffer_key), None)
+        dropped = self._cache.pop((peer, buffer_key), None)
+        if dropped is not None:
+            tel = self.machine.engine.telemetry
+            if tel is not None:
+                tel.window_event(
+                    self.machine.engine.now, self.node, peer, "unmap",
+                    dropped.slots,
+                )

@@ -101,7 +101,7 @@ class Engine:
 
     __slots__ = (
         "now", "_heap", "_seq", "_processes", "_prune_at",
-        "_running", "trace_enabled", "trace_log",
+        "_running", "trace_enabled", "trace_log", "telemetry",
     )
 
     def __init__(self, trace: bool = False):
@@ -113,6 +113,10 @@ class Engine:
         self._running = False
         self.trace_enabled = trace
         self.trace_log: List[Tuple[float, str]] = []
+        # Optional TelemetryRecorder (repro.telemetry).  Hook sites read this
+        # once and skip recording when None; recording never schedules events,
+        # so timings are bit-identical whether or not a recorder is attached.
+        self.telemetry = None
 
     # -- scheduling ------------------------------------------------------
     def call_at(self, when: float, callback: Callable, value: Any = None) -> None:

@@ -83,6 +83,9 @@ class SimCounter:
         if delta < 0:
             raise ValueError(f"counter {self.name!r} must not decrease")
         self.value += delta
+        tel = self.engine.telemetry
+        if tel is not None:
+            tel.counter_advance(self.engine.now, self.name, self.value, delta)
         if not self._watchers:
             return
         ready = [(t, e) for (t, e) in self._watchers if self.value >= t]
@@ -105,6 +108,9 @@ class SimCounter:
 
     def wait_for(self, threshold: float) -> Event:
         """Event firing when ``value >= threshold`` (immediately if already)."""
+        tel = self.engine.telemetry
+        if tel is not None:
+            tel.counter_poll(self.engine.now, self.name, self.value, threshold)
         event = Event(self.engine)
         if self.value >= threshold:
             event.trigger(self.value)

@@ -1,0 +1,48 @@
+"""Stage-level telemetry: recorder, run manifests, and report tables.
+
+See ``docs/observability.md`` for the design and role taxonomy.
+"""
+
+from repro.telemetry.manifest import (
+    DEFAULT_TOLERANCE,
+    RunManifest,
+    compare_bench,
+    compare_manifests,
+    compare_with_baseline_file,
+    git_revision,
+    load_baseline,
+    save_baseline,
+)
+from repro.telemetry.recorder import (
+    ROLE_COPIER,
+    ROLE_DMA_WAIT,
+    ROLE_INJECTOR,
+    ROLE_MASTER,
+    ROLE_PROTOCOL,
+    ROLE_RECEIVER,
+    TelemetryRecorder,
+    ThreadTelemetry,
+    reduce_core_role,
+)
+from repro.telemetry.report import format_report
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "ROLE_COPIER",
+    "ROLE_DMA_WAIT",
+    "ROLE_INJECTOR",
+    "ROLE_MASTER",
+    "ROLE_PROTOCOL",
+    "ROLE_RECEIVER",
+    "RunManifest",
+    "TelemetryRecorder",
+    "ThreadTelemetry",
+    "compare_bench",
+    "compare_manifests",
+    "compare_with_baseline_file",
+    "format_report",
+    "git_revision",
+    "load_baseline",
+    "reduce_core_role",
+    "save_baseline",
+]

@@ -1,0 +1,133 @@
+"""Breakdown tables for ``repro report`` — per-role, per-stage, protocol.
+
+Consumes a :class:`~repro.telemetry.recorder.TelemetryRecorder` plus the
+:class:`~repro.telemetry.manifest.RunManifest` of the run it observed and
+renders the paper's mechanistic story as plain-text tables: which cores
+played which role (injector / receiver / copier / protocol-core /
+reduce-core), how many bytes each role moved and how long it stalled,
+and the protocol-level op counts (counter polls, FIFO fetch-and-
+increments with contention, window syscalls).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.telemetry.manifest import RunManifest
+from repro.telemetry.recorder import TelemetryRecorder
+
+
+def _table(headers: List[str], rows: List[List[str]]) -> List[str]:
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    fmt = "  ".join(f"{{:<{w}}}" if i == 0 else f"{{:>{w}}}"
+                    for i, w in enumerate(widths))
+    lines = [fmt.format(*headers)]
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt.format(*row) for row in rows)
+    return lines
+
+
+def _fmt_bytes(nbytes: float) -> str:
+    if nbytes >= 1024 * 1024:
+        return f"{nbytes / (1024 * 1024):.2f}MiB"
+    if nbytes >= 1024:
+        return f"{nbytes / 1024:.1f}KiB"
+    return f"{int(nbytes)}B"
+
+
+def manifest_header(manifest: RunManifest) -> List[str]:
+    dims = "x".join(str(d) for d in manifest.dims)
+    return [
+        f"run      {manifest.spec_key}",
+        f"machine  {dims} nodes, mode {manifest.mode} "
+        f"(ppn {manifest.ppn}, {manifest.nprocs} procs)",
+        f"payload  x={manifest.x} ({_fmt_bytes(manifest.nbytes)}), "
+        f"{manifest.iters} iters, seed {manifest.seed}"
+        + (f", git {manifest.git_rev}" if manifest.git_rev else ""),
+        f"elapsed  {manifest.elapsed_us:.3f} us"
+        + (f"  ({manifest.bandwidth_mbs:.1f} MB/s)"
+           if manifest.bandwidth_mbs else ""),
+    ]
+
+
+def role_table(recorder: TelemetryRecorder) -> List[str]:
+    """Per-role breakdown — the paper's core-specialization split."""
+    summary = recorder.role_summary()
+    if not summary:
+        return ["(no role activity recorded)"]
+    rows = [
+        [
+            role,
+            f"{int(data['ranks'])}",
+            _fmt_bytes(data["bytes"]),
+            f"{data['copy_us']:.2f}",
+            f"{data['stall_us']:.2f}",
+        ]
+        for role, data in sorted(summary.items())
+    ]
+    return _table(
+        ["role", "ranks", "bytes", "copy us", "stall us"], rows
+    )
+
+
+def stage_table(recorder: TelemetryRecorder) -> List[str]:
+    """Per-stage breakdown of the copy pipeline."""
+    summary = recorder.stage_summary()
+    if not summary:
+        return ["(no stage activity recorded)"]
+    rows = [
+        [
+            stage,
+            f"{int(data['events'])}",
+            _fmt_bytes(data["bytes"]),
+            f"{data['us']:.2f}",
+        ]
+        for stage, data in sorted(summary.items())
+    ]
+    return _table(["stage", "events", "bytes", "busy us"], rows)
+
+
+def protocol_table(rollups: Dict[str, float]) -> List[str]:
+    """Protocol-level op counts from the manifest rollups."""
+    picks = [
+        ("counter polls", "counter_polls"),
+        ("counter advances", "counter_advances"),
+        ("FIFO fetch-and-incr", "fifo_fai"),
+        ("  ... contended", "fifo_fai_contended"),
+        ("window maps", "window_maps"),
+        ("window cache hits", "window_cache_hits"),
+        ("window unmaps", "window_unmaps"),
+        ("stall us (counter)", "stall_us.waiting-on-counter"),
+        ("stall us (slot)", "stall_us.waiting-on-slot"),
+    ]
+    rows = []
+    for label, key in picks:
+        if key in rollups:
+            value = rollups[key]
+            rows.append([
+                label,
+                f"{value:.2f}" if value != int(value) else f"{int(value)}",
+            ])
+    if not rows:
+        return ["(no protocol activity recorded)"]
+    return _table(["metric", "value"], rows)
+
+
+def format_report(manifest: RunManifest,
+                  recorder: TelemetryRecorder) -> str:
+    """The full ``repro report`` body for one run."""
+    lines: List[str] = []
+    lines.extend(manifest_header(manifest))
+    lines.append("")
+    lines.append("per-role breakdown")
+    lines.extend(role_table(recorder))
+    lines.append("")
+    lines.append("per-stage breakdown")
+    lines.extend(stage_table(recorder))
+    lines.append("")
+    lines.append("protocol metrics")
+    lines.extend(protocol_table(manifest.rollups))
+    return "\n".join(lines)

@@ -3,7 +3,7 @@ bottleneck claims, asserted directly from utilization counters."""
 
 import pytest
 
-from repro.bench import run_bcast, utilization_report
+from repro.bench import run_allreduce, run_bcast, utilization_report
 from repro.bench.profile import format_report
 from repro.hardware import Machine, Mode
 from repro.sim import Engine, FlowNetwork
@@ -109,3 +109,63 @@ class TestPaperBottleneckClaims:
         links = report.groups.get("links")
         assert links is None or links.mean == pytest.approx(0.0)
         assert report.group("tree_down").mean > 0.0
+
+    def test_tree_bcast_report_serves_payload_bytes(self):
+        """The tree-bcast path: downtree wire and memory both carry at
+        least one copy of the payload on every node."""
+        nbytes = 512 * 1024
+        m = Machine(torus_dims=(2, 2, 2), mode=Mode.QUAD)
+        run_bcast(m, "tree-shaddr", nbytes=nbytes)
+        report = utilization_report(m)
+        assert report.group("tree_down").bytes_served >= nbytes
+        assert report.group("mem").bytes_served >= nbytes * m.nnodes
+        assert 0.0 < report.group("tree_down").mean <= 1.0
+
+    def test_profile_identical_with_telemetry_attached(self):
+        """Telemetry is observational: the utilization profile of a
+        recorded run matches the seed run exactly, group by group."""
+        def profile(attach):
+            m = Machine(torus_dims=(2, 2, 2), mode=Mode.QUAD)
+            if attach:
+                m.attach_telemetry()
+            run_bcast(m, "tree-shaddr", nbytes=256 * 1024)
+            return utilization_report(m)
+
+        bare, recorded = profile(False), profile(True)
+        assert set(bare.groups) == set(recorded.groups)
+        for name, group in bare.groups.items():
+            other = recorded.groups[name]
+            assert group.bytes_served == other.bytes_served, name
+            assert group.mean == other.mean, name
+            assert group.peak == other.peak, name
+
+
+class TestAllreduceProfiles:
+    """Table I's contention story on the allreduce path."""
+
+    def _profile(self, algorithm, count=96 * 1024):
+        m = Machine(torus_dims=(2, 2, 2), mode=Mode.QUAD)
+        run_allreduce(m, algorithm, count)
+        return m, utilization_report(m)
+
+    def test_current_allreduce_report_groups(self):
+        m, report = self._profile("allreduce-torus-current")
+        for group in ("mem", "dma", "links"):
+            assert group in report.groups
+        assert report.group("dma").count == m.nnodes
+        assert report.group("dma").bytes_served > 0
+
+    def test_shaddr_allreduce_offloads_the_dma(self):
+        """'No extra copy operations are necessary': the shared-address
+        scheme strips the DMA of the baseline's redundant local copies."""
+        _, current = self._profile("allreduce-torus-current")
+        _, shaddr = self._profile("allreduce-torus-shaddr")
+        assert (shaddr.group("dma").bytes_served
+                < current.group("dma").bytes_served)
+        # The cores take over that work: memory traffic stays real.
+        assert shaddr.group("mem").bytes_served > 0
+
+    def test_allreduce_report_renders(self):
+        _, report = self._profile("allreduce-torus-shaddr")
+        text = format_report(report)
+        assert "dma" in text and "%" in text
