@@ -11,6 +11,11 @@ on the ``REPRO_SIM_SLOWPATH=1`` reference solver — so any change to the
 simulator's arithmetic, event ordering, or the harness's steady-state
 machinery is caught at the last-bit level.
 
+Before writing, this script re-runs the whole battery once per fair-share
+solver (slowpath reference, incremental, vectorized) and diffs the raw
+per-rank matrices: the three solvers must agree on every float bit, or
+nothing is written.
+
 Regenerate (only when an intentional model change invalidates the data)::
 
     PYTHONPATH=src python benchmarks/record_perrank.py
@@ -18,9 +23,18 @@ Regenerate (only when an intentional model change invalidates the data)::
 
 import json
 import pathlib
+import sys
 
 import repro.bench.harness as harness
 from repro.hardware.machine import Machine, Mode
+
+#: solver label -> FlowNetwork.configure pins (explicit args are sticky
+#: across the harness's per-run refresh_config)
+SOLVER_KNOBS = {
+    "slowpath": {"incremental": False, "vectorized": False},
+    "incremental": {"incremental": True, "vectorized": False},
+    "vectorized": {"incremental": True, "vectorized": True},
+}
 
 REFERENCE_PATH = (
     pathlib.Path(__file__).parent / "results" / "perrank_reference.json"
@@ -50,8 +64,13 @@ SCENARIOS = [
 ]
 
 
-def simulate_battery():
-    """Run every scenario; returns ``{scenario_id: record}``."""
+def simulate_battery(solver=None):
+    """Run every scenario; returns ``{scenario_id: record}``.
+
+    ``solver`` pins one of :data:`SOLVER_KNOBS` on every machine before
+    its run (None: whatever the environment selects — the configuration
+    the committed reference was recorded under).
+    """
     runners = {
         "bcast": harness.run_bcast,
         "allreduce": harness.run_allreduce,
@@ -77,6 +96,8 @@ def simulate_battery():
             scenario_id = f"{kind}:{algorithm}:{x}:{mode}:{iters}"
             captured.clear()
             machine = Machine(torus_dims=(2, 2, 2), mode=Mode[mode])
+            if solver is not None:
+                machine.flownet.configure(**SOLVER_KNOBS[solver])
             if kind == "barrier":
                 result = runners[kind](machine, algorithm, iters=iters)
             else:
@@ -91,8 +112,31 @@ def simulate_battery():
     return out
 
 
+def diff_solver_batteries(reference, other):
+    """Scenario ids whose raw per-rank matrices differ in any float bit."""
+    return sorted(
+        scenario_id
+        for scenario_id, record in reference.items()
+        if other[scenario_id]["times"] != record["times"]
+    )
+
+
 def main():
     records = simulate_battery()
+    # Solver equivalence gate: the reference must not depend on which
+    # fair-share kernel produced it.  Any bit-level disagreement between
+    # the three solvers is a solver bug, not a model change — refuse to
+    # record until it is fixed.
+    for solver in sorted(SOLVER_KNOBS):
+        diffs = diff_solver_batteries(records, simulate_battery(solver))
+        if diffs:
+            print(f"solver {solver!r} diverges from the default run on "
+                  f"{len(diffs)} scenario(s):", file=sys.stderr)
+            for scenario_id in diffs:
+                print(f"  {scenario_id}", file=sys.stderr)
+            return 1
+        print(f"solver {solver:12s} bit-identical across "
+              f"{len(records)} scenarios")
     REFERENCE_PATH.parent.mkdir(exist_ok=True)
     with open(REFERENCE_PATH, "w") as handle:
         json.dump({"dims": [2, 2, 2], "scenarios": records}, handle, indent=1)
@@ -100,7 +144,8 @@ def main():
     for scenario_id, record in records.items():
         print(f"{scenario_id:55s} elapsed={record['elapsed_us']:.3f}us")
     print(f"wrote {REFERENCE_PATH}")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -126,7 +126,8 @@ def run_point(spec: dict):
     ``spec`` keys: ``family``, ``algorithm``, ``x`` plus the optional
     ``dims``/``mode``/``wrap`` geometry and any keyword accepted by
     :func:`repro.bench.harness.run_collective` (``iters``, ``verify``,
-    ``seed``, ``steady_state``, ``root``, ``window_caching``).
+    ``seed``, ``steady_state``, ``root``, ``window_caching``,
+    ``analytic``, ``working_set_override``).
     ``fresh_machine=True`` opts out of the warm-machine cache (required
     for points that mutate machine-global state beyond a collective run).
     """
@@ -144,7 +145,8 @@ def run_point(spec: dict):
     kwargs = {
         key: spec[key]
         for key in ("root", "iters", "verify", "window_caching", "seed",
-                    "steady_state", "deadline_us")
+                    "steady_state", "deadline_us", "analytic",
+                    "working_set_override")
         if key in spec
     }
     return run_collective(

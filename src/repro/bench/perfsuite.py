@@ -34,6 +34,16 @@ CLI::
 
 ``--slow`` runs with ``REPRO_SIM_SLOWPATH=1`` (the reference from-scratch
 solver) — the configuration used to record the pre-optimisation baseline.
+``--analytic`` opts into the closed-form steady-state fast path
+(:mod:`repro.sim.analytic`) for points covered by a validated law.
+
+Every sweep record carries the solver mode its points actually ran under
+(``"solver"``, derived from the returned run manifests so it is correct
+across worker processes) and how many points the analytic fast path
+served (``"analytic_hits"``); the entry gets the union tag, e.g.
+``"vectorized"`` or ``"vectorized+analytic"``.  ``repro report
+--check-bench`` refuses to compare entries recorded under different
+solver tags unless ``--allow-cross-solver`` is passed.
 
 ``--jobs N`` fans every point of every sweep across ``N`` worker
 processes (see :mod:`repro.bench.parallel`); the simulated microseconds
@@ -109,7 +119,8 @@ SMOKE_SWEEPS = {
     },
 }
 
-def _point_specs(spec: dict, steady_state: Optional[bool]) -> List[dict]:
+def _point_specs(spec: dict, steady_state: Optional[bool],
+                 analytic: bool = False) -> List[dict]:
     """The sweep's x values as independent executor point specs."""
     specs = []
     for x in spec["xs"]:
@@ -123,6 +134,10 @@ def _point_specs(spec: dict, steady_state: Optional[bool]) -> List[dict]:
         }
         if steady_state is not None:
             point["steady_state"] = steady_state
+        if analytic:
+            # Carried in the spec (not the environment) so it survives the
+            # process boundary under any multiprocessing start method.
+            point["analytic"] = True
         specs.append(point)
     return specs
 
@@ -133,6 +148,13 @@ def _sweep_record(spec: dict, timed_points: List[tuple]) -> dict:
         {"x": x, "wall_s": round(wall, 4), "elapsed_us": result.elapsed_us}
         for x, (wall, result) in zip(spec["xs"], timed_points)
     ]
+    # Solver attribution comes from the returned manifests, not from this
+    # process's environment — the points may have run in worker processes.
+    manifests = [
+        result.manifest for _, result in timed_points
+        if result.manifest is not None
+    ]
+    modes = sorted({m.solver_mode for m in manifests})
     return {
         "kind": spec["kind"],
         "algorithm": spec["algorithm"],
@@ -141,22 +163,26 @@ def _sweep_record(spec: dict, timed_points: List[tuple]) -> dict:
         # busy seconds (sum over points), comparable across job counts;
         # the end-to-end wall clock lives on the suite entry.
         "wall_s": round(sum(p["wall_s"] for p in points), 4),
+        "solver": "+".join(modes) if modes else "unknown",
+        "analytic_hits": sum(1 for m in manifests if m.analytic),
         "points": points,
     }
 
 
 def run_sweep_timed(spec: dict, steady_state: Optional[bool] = None,
-                    jobs: Optional[int] = None) -> dict:
+                    jobs: Optional[int] = None,
+                    analytic: bool = False) -> dict:
     """Run one sweep; returns wall-clock and simulated-time records."""
     timed = execute_points(
-        _point_specs(spec, steady_state), jobs, task=run_point_timed
+        _point_specs(spec, steady_state, analytic), jobs,
+        task=run_point_timed,
     )
     return _sweep_record(spec, timed)
 
 
 def run_suite(
     smoke: bool = False, steady_state: Optional[bool] = None,
-    jobs: Optional[int] = None,
+    jobs: Optional[int] = None, analytic: bool = False,
 ) -> Dict[str, dict]:
     """Run every sweep of the suite; returns ``{sweep_name: record}``.
 
@@ -176,7 +202,7 @@ def run_suite(
     all_specs: List[dict] = []
     slices: Dict[str, tuple] = {}
     for name, spec in sweeps.items():
-        points = _point_specs(spec, steady_state)
+        points = _point_specs(spec, steady_state, analytic)
         slices[name] = (len(all_specs), len(points))
         all_specs.extend(points)
     timed = execute_points(all_specs, jobs, task=run_point_timed)
@@ -185,11 +211,16 @@ def run_suite(
         offset, count = slices[name]
         record = _sweep_record(spec, timed[offset:offset + count])
         out[name] = record
+        hits = record["analytic_hits"]
+        tag = f" [{record['solver']}" + (
+            f", {hits}/{len(record['points'])} analytic]" if hits else "]"
+        )
         print(
             f"{name:18s} {record['wall_s']:8.2f}s busy  "
             + "  ".join(
                 f"{p['x']}B:{p['elapsed_us']:.1f}us" for p in record["points"]
             )
+            + tag
         )
     out["__meta__"] = {
         "recorded_at": recorded_at,
@@ -228,12 +259,31 @@ def save_entry(path: str, label: str, sweeps: Dict[str, dict], smoke: bool) -> d
         "jobs": 1,
         "cpus": os.cpu_count(),
     }
+    # Entry-level solver attribution: the union of the sweep records'
+    # manifest-derived modes, tagged "+analytic" when the fast path
+    # actually served points.  ``repro report --check-bench`` refuses to
+    # compare entries whose solver tags differ (see
+    # :func:`repro.telemetry.manifest.bench_entry_solver`).
+    modes = sorted({
+        record.get("solver") for record in sweeps.values()
+        if isinstance(record, dict) and record.get("solver")
+    })
+    solver = "+".join(modes) if modes else (
+        "slowpath" if os.environ.get("REPRO_SIM_SLOWPATH", "") == "1"
+        else "incremental"
+    )
+    if any(
+        record.get("analytic_hits") for record in sweeps.values()
+        if isinstance(record, dict)
+    ):
+        solver += "+analytic"
     results = load_results(path)
     results.setdefault("entries", {})[label] = {
         **meta,
         "python": platform.python_version(),
         "smoke": smoke,
         "slowpath": os.environ.get("REPRO_SIM_SLOWPATH", "") == "1",
+        "solver": solver,
         "sweeps": sweeps,
     }
     with open(path, "w") as handle:
@@ -290,6 +340,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="use the reference from-scratch solver (REPRO_SIM_SLOWPATH=1)",
     )
     parser.add_argument(
+        "--analytic", action="store_true",
+        help="opt into the closed-form steady-state fast path "
+             "(repro.sim.analytic) where a validated law covers a point",
+    )
+    parser.add_argument(
         "--jobs", type=int, default=None,
         help="worker processes for the point grid (default: REPRO_JOBS or "
              "serial; 0 = one per CPU)",
@@ -298,7 +353,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.slow:
         os.environ["REPRO_SIM_SLOWPATH"] = "1"
     steady = False if args.no_steady else None
-    sweeps = run_suite(smoke=args.smoke, steady_state=steady, jobs=args.jobs)
+    sweeps = run_suite(smoke=args.smoke, steady_state=steady, jobs=args.jobs,
+                       analytic=args.analytic)
     meta = sweeps.get("__meta__", {})
     if meta:
         print(

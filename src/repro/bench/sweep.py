@@ -106,6 +106,10 @@ def run_sweep(config: dict, jobs: Optional[int] = None) -> SweepResult:
     processes (``None``: the ``REPRO_JOBS`` environment variable, else
     serial).  Results are merged in grid order, so the returned
     :class:`SweepResult` is identical whatever the job count.
+
+    ``"analytic": true`` in the config opts every point into the
+    closed-form steady-state fast path (:mod:`repro.sim.analytic`);
+    points without a validated law run the full simulation as usual.
     """
     _validate_config(config)
     kind = config["kind"]
@@ -114,6 +118,7 @@ def run_sweep(config: dict, jobs: Optional[int] = None) -> SweepResult:
     mode = Mode[machine_cfg.get("mode", "quad").upper()]
     wrap = bool(machine_cfg.get("wrap", True))
     iters = int(config.get("iters", 1))
+    analytic = bool(config.get("analytic", False))
     x_values = [parse_size(s) for s in config["sizes"]]
     result = SweepResult(
         name=config.get("name", f"{kind}-sweep"),
@@ -126,6 +131,7 @@ def run_sweep(config: dict, jobs: Optional[int] = None) -> SweepResult:
         {
             "family": kind, "algorithm": algorithm, "x": x,
             "dims": dims, "mode": mode.name, "wrap": wrap, "iters": iters,
+            **({"analytic": True} if analytic else {}),
         }
         for algorithm in config["algorithms"]
         for x in x_values

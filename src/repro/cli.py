@@ -112,6 +112,12 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
         help="carry real payload bytes and check bit-exact delivery",
     )
     parser.add_argument(
+        "--analytic", action="store_true",
+        help="serve the point from the validated closed-form steady-state "
+             "law (repro.sim.analytic) when one covers it; falls back to "
+             "the full simulation otherwise",
+    )
+    parser.add_argument(
         "--profile", action="store_true",
         help="print a resource-utilization report after the run",
     )
@@ -275,6 +281,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="relative drift tolerance for the gates (default: the "
              "baseline file's, else 0.10)",
     )
+    p.add_argument(
+        "--allow-cross-solver", action="store_true",
+        help="let --check-bench compare entries recorded under different "
+             "solver configurations (refused by default so solver-switch "
+             "drift is never misattributed to the code under test)",
+    )
     _add_machine_args(p)
 
     p = sub.add_parser(
@@ -373,8 +385,14 @@ def _cmd_measure(args) -> int:
     result = run_collective(
         machine, family, args.algorithm, x,
         root=getattr(args, "root", 0), iters=args.iters, verify=args.verify,
+        analytic=True if getattr(args, "analytic", False) else None,
     )
     _finish(args, machine, result)
+    if getattr(args, "analytic", False):
+        served = result.manifest is not None and result.manifest.analytic
+        print("analytic fast path: "
+              + ("served this point" if served else "no law covers this "
+                 "point; full simulation ran"))
     return 0
 
 
@@ -496,7 +514,8 @@ def _cmd_report(args) -> int:
             bench = json.load(handle)
         tolerance = args.tolerance if args.tolerance is not None else 0.10
         drifts = compare_bench(
-            bench, args.base, args.new_label, tolerance=tolerance
+            bench, args.base, args.new_label, tolerance=tolerance,
+            allow_cross_solver=args.allow_cross_solver,
         )
         if drifts:
             print(f"BENCH gate FAILED ({len(drifts)} drift(s)):")

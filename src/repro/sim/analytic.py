@@ -1,0 +1,472 @@
+"""Closed-form steady-state cost laws for fault-free Fig-5 sweeps.
+
+The Fig-5 harness rebases the clock at every iteration barrier, so on a
+healthy machine every warm iteration of a deterministic protocol runs the
+exact same float arithmetic and costs the exact same number of
+microseconds.  A whole sweep point therefore collapses to two numbers —
+the cold (first) iteration and the steady warm iteration — and for the
+three headline shared-address protocols those two numbers follow simple
+piecewise-affine laws in the message size.  This module evaluates those
+laws instead of running the discrete-event simulation, turning an
+O(ranks x chunks x iterations) event cascade into two DES *anchor* runs
+per (configuration, segment) — memoized — plus arithmetic.
+
+Where the laws come from
+------------------------
+
+Each registered law (:class:`~repro.collectives.registry.AlgorithmInfo`
+``analytic=``) carves the size axis into segments on which cold and warm
+times are affine in one scalar coordinate:
+
+``tree-lattice`` (``tree-shaddr`` broadcast)
+    One pipeline chunk (``C = ceil(x / pipeline_width) == 1``): affine in
+    ``x``.  Full-chunk lattice (``x`` a multiple of ``pipeline_width``):
+    affine in ``C`` separately on the even and the odd sublattice — the
+    two-chunk hardware window (``tree_window_chunks``) makes consecutive
+    chunk counts alternate between two exact per-chunk increments.
+    Multi-chunk sizes with a partial tail chunk mix both regimes and are
+    *not* analytic (DES fallback).
+
+``torus-color-lattice`` (``torus-shaddr`` broadcast, six colors)
+    With per-color bytes ``pc = x / 6`` and ``m = floor(pc /
+    pipeline_width)`` full chunks per color: the ``m == 0`` segment is
+    affine in ``x``; each ``m >= 1`` segment is affine in the tail-chunk
+    size ``rem = pc - m * pipeline_width`` (anchored exactly at the
+    ``rem == 0`` lattice point).
+
+``allreduce-m0`` (``allreduce-torus-shaddr``, three colors)
+    Only the single-chunk segment ``floor(8x/3 / pipeline_width) == 0``
+    is affine; beyond it the measured per-``m`` increments are irregular
+    (the local-reduce/copy overlap shifts), so larger sizes deliberately
+    fall back to the DES.
+
+Calibration and validation
+--------------------------
+
+Laws are *structural* claims; the coefficients are measured, never
+hard-coded.  For each (configuration, memory regime, segment) the module
+runs the full DES at two anchor sizes on a fresh machine, fits cold and
+warm affinely, then runs a third *held-out probe* size and refuses the
+segment (permanently, with a recorded miss reason) unless the fit
+reproduces the probe within ``PROBE_RTOL``.  Every prediction served here
+is therefore backed by three real simulations of the same configuration.
+
+Anchor runs pin the machine's memory regime to the *target* size's regime
+via ``run_collective(working_set_override=...)`` — affinity holds within
+a regime, and the pin keeps a small anchor from calibrating L3-regime
+coefficients for a DRAM-regime target.  Blended regimes (working set
+between ``l3_bytes`` and ``2 * l3_bytes``) calibrate per exact working
+set.
+
+The fast path is opt-in (``REPRO_SIM_ANALYTIC=1`` or
+``run_collective(analytic=True)``) and refuses to engage whenever the
+run could deviate from the fault-free steady-state model — payload
+verification, deadlines, telemetry, tracing, armed fault schedules,
+live capacity reapply hooks, or non-default parameters (see
+:func:`gate_reason`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+__all__ = [
+    "PROBE_RTOL",
+    "PROBE_ATOL",
+    "Prediction",
+    "gate_reason",
+    "predict",
+    "stats",
+    "reset_stats",
+    "clear_cache",
+    "law_names",
+]
+
+#: relative tolerance of the held-out probe check (and thus the accuracy
+#: contract of every served prediction)
+PROBE_RTOL = 5e-4
+#: absolute slack of the probe check, µs — keeps near-zero cold-minus-warm
+#: deltas from failing on float dust
+PROBE_ATOL = 0.05
+
+#: iterations per anchor run: cold + warm + one confirmation row proving
+#: the warm iteration really is steady
+_ANCHOR_ITERS = 3
+
+
+class _SegmentMiss(Exception):
+    """A size this law cannot predict; ``reason`` is the stats key."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class _Segment:
+    """One affine piece of a law: a scalar coordinate plus sample sizes."""
+
+    #: cache key of the segment within its configuration
+    key: str
+    #: the target's coordinate on this segment
+    coord: float
+    #: the two anchor sizes (law-native ``x`` units) and their coordinates
+    anchors: Tuple[Tuple[int, float], Tuple[int, float]]
+    #: held-out probe size and coordinate
+    probe: Tuple[int, float]
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """A served analytic point: per-iteration times in µs."""
+
+    cold_us: float
+    warm_us: float
+    law: str
+    segment: str
+
+
+@dataclass(frozen=True)
+class _Fit:
+    """Affine cold/warm coefficients over a segment coordinate."""
+
+    cold_a: float
+    cold_b: float
+    warm_a: float
+    warm_b: float
+
+    def cold(self, t: float) -> float:
+        return self.cold_a + self.cold_b * t
+
+    def warm(self, t: float) -> float:
+        return self.warm_a + self.warm_b * t
+
+
+@dataclass(frozen=True)
+class _Refused:
+    """A segment that failed its probe (cached so it is not re-run)."""
+
+    reason: str
+
+
+# -- the laws ------------------------------------------------------------
+
+def _tree_lattice(params, x: int) -> _Segment:
+    pw = params.pipeline_width
+    if x < 16:
+        raise _SegmentMiss("x-too-small")
+    chunks = -(-x // pw)  # ceil
+    if chunks == 1:
+        return _Segment(
+            key="C1",
+            coord=float(x),
+            anchors=((pw // 4, float(pw // 4)), (pw // 2, float(pw // 2))),
+            probe=((3 * pw) // 4, float((3 * pw) // 4)),
+        )
+    if x % pw != 0:
+        # Partial tail chunk on a multi-chunk message: off the lattice.
+        raise _SegmentMiss("partial-tail-chunk")
+    # Full-chunk lattice: affine in the chunk count on each parity
+    # sublattice (the two-chunk hardware window alternates increments).
+    cs = (2, 4, 6) if chunks % 2 == 0 else (3, 5, 7)
+    return _Segment(
+        key=f"rem0-{'even' if chunks % 2 == 0 else 'odd'}",
+        coord=float(chunks),
+        anchors=((cs[0] * pw, float(cs[0])), (cs[1] * pw, float(cs[1]))),
+        probe=(cs[2] * pw, float(cs[2])),
+    )
+
+
+def _torus_color_lattice(params, x: int) -> _Segment:
+    pw = params.pipeline_width
+    ncolors = 6
+    if x < 64:
+        raise _SegmentMiss("x-too-small")
+    pc = x / ncolors  # per-color bytes (fractional off the color lattice)
+    m = int(pc // pw)
+    if m == 0:
+        return _Segment(
+            key="m0",
+            coord=float(x),
+            anchors=(
+                (ncolors * (pw // 4), float(ncolors * (pw // 4))),
+                (ncolors * (pw // 2), float(ncolors * (pw // 2))),
+            ),
+            probe=(ncolors * ((3 * pw) // 4), float(ncolors * ((3 * pw) // 4))),
+        )
+    # m full chunks per color plus a tail: affine in the tail size,
+    # anchored exactly at this m's rem == 0 lattice point.
+    rem = pc - m * pw
+    base = ncolors * m * pw
+    return _Segment(
+        key=f"m{m}",
+        coord=rem,
+        anchors=((base, 0.0), (base + ncolors * (pw // 2), float(pw // 2))),
+        probe=(base + ncolors * (pw // 4), float(pw // 4)),
+    )
+
+
+def _allreduce_m0(params, x: int) -> _Segment:
+    # x is a count of doubles split over three colors: pc = 8x/3 bytes.
+    pw = params.pipeline_width
+    if x < 24:
+        raise _SegmentMiss("x-too-small")
+    if (8 * x) / 3 >= pw:
+        # Beyond one chunk per color the measured per-chunk increments are
+        # irregular (reduce/copy overlap shifts) — deliberately DES-only.
+        raise _SegmentMiss("beyond-m0")
+    return _Segment(
+        key="m0",
+        coord=float(x),
+        anchors=(
+            ((3 * pw) // 32, float((3 * pw) // 32)),
+            ((3 * pw) // 16, float((3 * pw) // 16)),
+        ),
+        probe=((9 * pw) // 32, float((9 * pw) // 32)),
+    )
+
+
+#: law name (AlgorithmInfo.analytic) -> segmenter
+_LAWS: Dict[str, Callable[[object, int], _Segment]] = {
+    "tree-lattice": _tree_lattice,
+    "torus-color-lattice": _torus_color_lattice,
+    "allreduce-m0": _allreduce_m0,
+}
+
+
+def law_names() -> List[str]:
+    """Names of every structural law this module can evaluate."""
+    return sorted(_LAWS)
+
+
+# -- memory-regime canonicalisation --------------------------------------
+
+def _regime_pin(machine, family: str, x: int) -> Tuple[object, Optional[int]]:
+    """(cache key, anchor ``working_set_override``) for ``x``'s regime.
+
+    Affinity holds within one memory regime; anchors must be measured in
+    the *target's* regime, not the regime their own (smaller) working set
+    would naturally select.  Pure regimes canonicalise to "L3" / "DRAM"
+    (pinned at 0 / ``2 * l3_bytes``); a blended working set is its own
+    regime, pinned exactly.
+    """
+    from repro.bench.harness import FAMILY_SPECS
+
+    spec = FAMILY_SPECS[family]
+    if spec.working_set is None:
+        return "none", None
+    ws = spec.working_set(machine, x)
+    l3 = machine.params.l3_bytes
+    if ws <= l3:
+        return "L3", 0
+    if ws >= 2 * l3:
+        return "DRAM", 2 * l3
+    return ws, ws
+
+
+# -- calibration ---------------------------------------------------------
+
+#: (law, family, algorithm, dims, wrap, mode, ppn, root, window_caching,
+#:  regime key, segment key, params) -> _Fit | _Refused
+_CACHE: Dict[tuple, Union[_Fit, _Refused]] = {}
+
+_STATS = {"hits": 0, "misses": 0, "calibrations": 0}
+_MISS_REASONS: Dict[str, int] = {}
+
+
+def stats() -> dict:
+    """Process-local counters: served hits, misses (with reasons), and
+    anchor calibrations run."""
+    return {
+        "hits": _STATS["hits"],
+        "misses": _STATS["misses"],
+        "calibrations": _STATS["calibrations"],
+        "miss_reasons": dict(_MISS_REASONS),
+    }
+
+
+def reset_stats() -> None:
+    _STATS.update(hits=0, misses=0, calibrations=0)
+    _MISS_REASONS.clear()
+
+
+def clear_cache() -> None:
+    """Drop every memoized calibration (tests; config teardown)."""
+    _CACHE.clear()
+
+
+def _miss(reason: str) -> None:
+    _STATS["misses"] += 1
+    _MISS_REASONS[reason] = _MISS_REASONS.get(reason, 0) + 1
+
+
+def _anchor_point(
+    machine,
+    family: str,
+    algorithm: str,
+    x: int,
+    root: int,
+    window_caching: bool,
+    ws_pin: Optional[int],
+) -> Tuple[float, float]:
+    """Full-DES (cold, warm) µs at one anchor size, on a fresh machine."""
+    from repro.bench.harness import run_collective
+    from repro.hardware.machine import Machine
+
+    fresh = Machine(
+        torus_dims=tuple(machine.torus.dims),
+        mode=machine.mode,
+        params=machine.params,
+        wrap=machine.torus.wrap,
+    )
+    result = run_collective(
+        fresh, family, algorithm, x,
+        root=root, iters=_ANCHOR_ITERS, window_caching=window_caching,
+        steady_state=True, analytic=False, working_set_override=ws_pin,
+    )
+    rows = result.iterations_us
+    if rows[1] != rows[2]:
+        raise _SegmentMiss("anchor-not-steady")
+    return rows[0], rows[1]
+
+
+def _affine(p1: Tuple[float, float], p2: Tuple[float, float]) -> Tuple[float, float]:
+    (t1, v1), (t2, v2) = p1, p2
+    slope = (v2 - v1) / (t2 - t1)
+    return v1 - slope * t1, slope
+
+
+def _within(pred: float, meas: float) -> bool:
+    return abs(pred - meas) <= PROBE_ATOL + PROBE_RTOL * abs(meas)
+
+
+def _calibrate(
+    machine,
+    family: str,
+    algorithm: str,
+    segment: _Segment,
+    root: int,
+    window_caching: bool,
+    ws_pin: Optional[int],
+) -> Union[_Fit, _Refused]:
+    _STATS["calibrations"] += 1
+    try:
+        points = [
+            _anchor_point(machine, family, algorithm, ax, root,
+                          window_caching, ws_pin)
+            for ax, _ in segment.anchors
+        ] + [
+            _anchor_point(machine, family, algorithm, segment.probe[0],
+                          root, window_caching, ws_pin)
+        ]
+    except _SegmentMiss as exc:
+        return _Refused(exc.reason)
+    (c1, w1), (c2, w2), (cp, wp) = points
+    t1, t2 = segment.anchors[0][1], segment.anchors[1][1]
+    cold_a, cold_b = _affine((t1, c1), (t2, c2))
+    warm_a, warm_b = _affine((t1, w1), (t2, w2))
+    fit = _Fit(cold_a, cold_b, warm_a, warm_b)
+    tp = segment.probe[1]
+    if not (_within(fit.warm(tp), wp) and _within(fit.cold(tp), cp)):
+        return _Refused("probe-failed")
+    return fit
+
+
+# -- the gate ------------------------------------------------------------
+
+def gate_reason(
+    machine,
+    info,
+    *,
+    verify: bool,
+    payload,
+    deadline_us,
+    steady_state,
+) -> Optional[str]:
+    """Why this run must go through the DES (None = analytic is legal).
+
+    The fast path models exactly one thing: a fault-free deterministic
+    run whose warm iterations are bit-identical.  Anything that could
+    perturb iterations (faults, capacity reapply hooks), observe them
+    (telemetry, tracing, payload verification), or depend on per-event
+    behaviour (deadlines) disqualifies the run.  Non-default parameters
+    disqualify too: the segment structure itself was only validated
+    against the calibrated BG/P constants.
+    """
+    from repro.hardware.params import BGPParams
+
+    if info is None or info.analytic is None:
+        return "no-law"
+    if info.analytic not in _LAWS:
+        return "unknown-law"
+    if verify or payload is not None:
+        return "verify"
+    if deadline_us is not None:
+        return "deadline"
+    if steady_state is False:
+        return "steady-state-disabled"
+    if machine.engine.telemetry is not None:
+        return "telemetry-attached"
+    if machine.engine.trace_enabled:
+        return "trace-enabled"
+    if machine.faults.any_armed():
+        return "faults-armed"
+    if machine._reapply_hooks:
+        return "reapply-hooks"
+    if machine.params != BGPParams():
+        return "non-default-params"
+    return None
+
+
+# -- prediction ----------------------------------------------------------
+
+def predict(
+    machine,
+    family: str,
+    info,
+    x: int,
+    *,
+    root: int = 0,
+    window_caching: bool = True,
+) -> Optional[Prediction]:
+    """Analytic (cold, warm) µs for one sweep point, or None (DES needed).
+
+    Callers check :func:`gate_reason` first; this function handles the
+    remaining per-size questions — does the law have a segment covering
+    ``x``, and does that segment's calibration pass its probe?  Misses are
+    counted in :func:`stats` with a reason, and refused segments are
+    cached so a sweep pays the probe cost at most once.
+    """
+    segmenter = _LAWS[info.analytic]
+    try:
+        segment = segmenter(machine.params, x)
+    except _SegmentMiss as exc:
+        _miss(exc.reason)
+        return None
+    regime_key, ws_pin = _regime_pin(machine, family, x)
+    key = (
+        info.analytic, family, info.name, tuple(machine.torus.dims),
+        machine.torus.wrap, machine.mode.name, machine.ppn, root,
+        window_caching, regime_key, segment.key, machine.params,
+    )
+    fit = _CACHE.get(key)
+    if fit is None:
+        fit = _calibrate(
+            machine, family, info.name, segment, root, window_caching,
+            ws_pin,
+        )
+        _CACHE[key] = fit
+    if isinstance(fit, _Refused):
+        _miss(fit.reason)
+        return None
+    cold = fit.cold(segment.coord)
+    warm = fit.warm(segment.coord)
+    if not (math.isfinite(cold) and math.isfinite(warm)):
+        _miss("non-finite-fit")
+        return None
+    _STATS["hits"] += 1
+    return Prediction(
+        cold_us=cold, warm_us=warm, law=info.analytic, segment=segment.key,
+    )

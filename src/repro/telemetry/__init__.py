@@ -6,6 +6,7 @@ See ``docs/observability.md`` for the design and role taxonomy.
 from repro.telemetry.manifest import (
     DEFAULT_TOLERANCE,
     RunManifest,
+    bench_entry_solver,
     compare_bench,
     compare_manifests,
     compare_with_baseline_file,
@@ -37,6 +38,7 @@ __all__ = [
     "RunManifest",
     "TelemetryRecorder",
     "ThreadTelemetry",
+    "bench_entry_solver",
     "compare_bench",
     "compare_manifests",
     "compare_with_baseline_file",

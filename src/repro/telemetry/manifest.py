@@ -69,6 +69,13 @@ class RunManifest:
     rollups: Dict[str, float] = field(default_factory=dict)
     #: filled on export (never during timed runs — see :func:`git_revision`)
     git_rev: Optional[str] = None
+    #: fair-share solver the run's flow network used
+    #: ("incremental" / "vectorized" / "slowpath"); defaulted so manifests
+    #: recorded before the field existed still load
+    solver_mode: str = "incremental"
+    #: True when the point was served by the closed-form fast path of
+    #: :mod:`repro.sim.analytic` instead of the DES
+    analytic: bool = False
 
     @property
     def spec_key(self) -> str:
@@ -191,12 +198,35 @@ def compare_with_baseline_file(
     return compare_manifests(current, RunManifest.from_dict(entry), tol)
 
 
+def bench_entry_solver(entry: dict) -> str:
+    """The solver configuration a ``BENCH_core.json`` entry ran under.
+
+    Modern entries record it directly (``"solver"``, with ``"+analytic"``
+    appended when the fast path was enabled); entries written before the
+    field existed are derived from the historical ``"slowpath"`` flag —
+    the only solver knob that existed then (the vectorized kernel
+    postdates every such entry).
+    """
+    solver = entry.get("solver")
+    if solver is not None:
+        return solver
+    return "slowpath" if entry.get("slowpath") else "incremental"
+
+
 def compare_bench(bench: dict, base_label: str, new_label: str,
-                  tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
+                  tolerance: float = DEFAULT_TOLERANCE,
+                  allow_cross_solver: bool = False) -> List[str]:
     """Tolerance-gate two labelled ``BENCH_core.json`` entries.
 
     Compares the *simulated* microseconds of every shared sweep point
     (wall-clock seconds are host noise and are never gated).
+
+    Entries recorded under different solver configurations (incremental
+    vs vectorized vs slowpath, analytic fast path on or off) are refused
+    by default: a drift between them would be attributed to the code under
+    test when it may belong to the solver switch.  Deliberate cross-solver
+    gates — e.g. asserting the vectorized kernel is bit-identical to the
+    incremental baseline — pass ``allow_cross_solver=True``.
     """
     entries = bench.get("entries", {})
     drifts: List[str] = []
@@ -213,6 +243,14 @@ def compare_bench(bench: dict, base_label: str, new_label: str,
         return [
             f"entries {base_label!r}/{new_label!r} recorded at different "
             "sizes (smoke vs full suite); not comparable"
+        ]
+    base_solver = bench_entry_solver(base)
+    new_solver = bench_entry_solver(new)
+    if base_solver != new_solver and not allow_cross_solver:
+        return [
+            f"entries {base_label!r}/{new_label!r} recorded under "
+            f"different solvers ({base_solver} vs {new_solver}); pass "
+            "--allow-cross-solver to compare anyway"
         ]
     for sweep, record in base.get("sweeps", {}).items():
         other = new.get("sweeps", {}).get(sweep)

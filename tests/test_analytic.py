@@ -1,0 +1,229 @@
+"""Analytic steady-state fast path vs the DES (:mod:`repro.sim.analytic`).
+
+The fast path predicts per-point elapsed times in closed form for
+fault-free steady-state sweeps of the three headline protocols.  These
+tests pin the contract end to end on a 2x2x2 machine:
+
+* served points match a full DES run of the same point within the law's
+  probe tolerance (lattice points to float noise);
+* off-lattice sizes, undersized messages, and the allreduce beyond-m0
+  region *miss* — the DES runs and the result is exactly the unassisted
+  one;
+* every legality gate (verification, faults, telemetry, tracing,
+  non-steady runs, deadlines, non-default params) forces the DES;
+* the fast path is opt-in (argument or ``REPRO_SIM_ANALYTIC=1``) and
+  its hit/miss/calibration accounting is observable via ``stats()``.
+"""
+
+import math
+
+import pytest
+
+from repro.bench.harness import run_collective
+from repro.hardware.fault_schedule import FaultSchedule, LinkFlap
+from repro.hardware.machine import Machine, Mode
+from repro.hardware.params import BGPParams
+from repro.sim import Engine, analytic
+
+#: matches the calibrator's probe gate (PROBE_RTOL=5e-4) with headroom
+REL_TOL = 1e-3
+
+DIMS = (2, 2, 2)
+PW = BGPParams().pipeline_width  # 65536
+
+
+def _machine():
+    return Machine(torus_dims=DIMS, mode=Mode.QUAD)
+
+
+def _run(family, algorithm, x, **kwargs):
+    return run_collective(_machine(), family, algorithm, x, **kwargs)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_calibrations():
+    # One clean slate per module; the calibration cache is then shared
+    # across tests (that sharing is itself part of the contract).
+    analytic.clear_cache()
+    analytic.reset_stats()
+    yield
+    analytic.clear_cache()
+    analytic.reset_stats()
+
+
+# ---------------------------------------------------------------------------
+# served points match the DES
+# ---------------------------------------------------------------------------
+
+#: (family, algorithm, x, law segment exercised)
+HIT_POINTS = [
+    ("bcast", "tree-shaddr", PW // 4 + 1024, "C1 interior"),
+    ("bcast", "tree-shaddr", 2 * PW, "even chunk lattice, anchor"),
+    ("bcast", "tree-shaddr", 6 * PW, "even chunk lattice, probe"),
+    ("bcast", "tree-shaddr", 3 * PW, "odd chunk lattice, anchor"),
+    ("bcast", "torus-shaddr", 2 * PW, "m0 interior"),
+    ("bcast", "torus-shaddr", 8 * PW, "m1, fractional per-color tail"),
+    ("allreduce", "allreduce-torus-shaddr", (3 * PW) // 32, "m0 anchor"),
+    ("allreduce", "allreduce-torus-shaddr", 16384, "m0 interior"),
+]
+
+
+@pytest.mark.parametrize(
+    "family,algorithm,x",
+    [p[:3] for p in HIT_POINTS],
+    ids=[f"{p[1]}-x{p[2]}" for p in HIT_POINTS],
+)
+def test_served_point_matches_des(family, algorithm, x):
+    des = _run(family, algorithm, x, iters=3, steady_state=True)
+    assert des.manifest.analytic is False
+    fast = _run(family, algorithm, x, iters=3, steady_state=True,
+                analytic=True)
+    assert fast.manifest.analytic is True
+    assert math.isclose(fast.elapsed_us, des.elapsed_us, rel_tol=REL_TOL)
+    for ours, theirs in zip(fast.iterations_us, des.iterations_us):
+        assert math.isclose(ours, theirs, rel_tol=REL_TOL)
+
+
+def test_served_iterations_are_cold_plus_identical_warm():
+    result = _run("bcast", "tree-shaddr", 2 * PW, iters=5, analytic=True)
+    assert result.manifest.analytic is True
+    assert len(result.iterations_us) == 5
+    cold, warm = result.iterations_us[0], result.iterations_us[1:]
+    assert warm == [warm[0]] * 4  # bit-identical by construction
+    assert result.elapsed_us == sum([cold] + warm) / 5
+
+
+def test_calibration_is_cached_across_points():
+    analytic.clear_cache()
+    analytic.reset_stats()
+    for x in (PW // 4 + 512, PW // 4 + 2048, PW // 2 - 512):
+        result = _run("bcast", "tree-shaddr", x, analytic=True)
+        assert result.manifest.analytic is True
+    counters = analytic.stats()
+    assert counters["hits"] == 3
+    # one C1 calibration serves every C1 point in the same memory regime
+    assert counters["calibrations"] == 1
+
+
+# ---------------------------------------------------------------------------
+# misses fall back to the DES
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "family,algorithm,x,reason",
+    [
+        # multi-chunk tree bcast with a partial tail chunk: off-lattice
+        ("bcast", "tree-shaddr", 3 * PW + 5000, "partial-tail-chunk"),
+        ("bcast", "tree-shaddr", 8, "x-too-small"),
+        # allreduce beyond one chunk per color is deliberately DES-only
+        ("allreduce", "allreduce-torus-shaddr", PW, "beyond-m0"),
+    ],
+)
+def test_uncovered_point_runs_des(family, algorithm, x, reason):
+    analytic.reset_stats()
+    des = _run(family, algorithm, x, iters=2)
+    fast = _run(family, algorithm, x, iters=2, analytic=True)
+    assert fast.manifest.analytic is False
+    assert fast.elapsed_us == des.elapsed_us  # bit-equal: the DES ran
+    assert fast.iterations_us == des.iterations_us
+    assert analytic.stats()["miss_reasons"].get(reason, 0) >= 1
+
+
+# ---------------------------------------------------------------------------
+# legality gates
+# ---------------------------------------------------------------------------
+
+def test_gate_verify_and_non_steady_force_des():
+    for kwargs in ({"verify": True}, {"steady_state": False},
+                   {"deadline_us": 1e9}):
+        result = _run("bcast", "tree-shaddr", 2 * PW, iters=2,
+                      analytic=True, **kwargs)
+        assert result.manifest.analytic is False, kwargs
+
+
+def test_gate_faults_force_des():
+    schedule = FaultSchedule(
+        [LinkFlap(start=5.0, duration=50.0, node=1, factor=0.5)]
+    )
+    plain, requested = [], []
+    for analytic_flag in (None, True):
+        machine = _machine()
+        schedule.install(machine)
+        result = run_collective(
+            machine, "bcast", "torus-shaddr", 2 * PW, iters=2,
+            analytic=analytic_flag,
+        )
+        assert result.manifest.analytic is False
+        (plain if analytic_flag is None else requested).append(
+            (result.elapsed_us, tuple(result.iterations_us))
+        )
+    # requesting the fast path on a faulted machine changes nothing
+    assert plain == requested
+
+
+def test_gate_telemetry_and_trace_force_des():
+    machine = _machine()
+    machine.attach_telemetry()
+    result = run_collective(
+        machine, "bcast", "tree-shaddr", 2 * PW, analytic=True
+    )
+    assert result.manifest.analytic is False
+
+    machine = Machine(torus_dims=DIMS, mode=Mode.QUAD,
+                      engine=Engine(trace=True))
+    result = run_collective(
+        machine, "bcast", "tree-shaddr", 2 * PW, analytic=True
+    )
+    assert result.manifest.analytic is False
+
+
+def test_gate_algorithm_without_law_forces_des():
+    result = _run("bcast", "torus-fifo", 2 * PW, analytic=True)
+    assert result.manifest.analytic is False
+
+
+def test_gate_reason_non_default_params():
+    machine = _machine()
+    info = type("Info", (), {"analytic": "tree-lattice", "name": "t"})()
+    common = dict(verify=False, payload=None, deadline_us=None,
+                  steady_state=None)
+    assert analytic.gate_reason(machine, info, **common) is None
+    slowed = Machine(
+        torus_dims=DIMS, mode=Mode.QUAD,
+        params=BGPParams(mpi_overhead=2.5),
+    )
+    assert (
+        analytic.gate_reason(slowed, info, **common) == "non-default-params"
+    )
+
+
+# ---------------------------------------------------------------------------
+# opt-in plumbing
+# ---------------------------------------------------------------------------
+
+def test_analytic_is_off_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_SIM_ANALYTIC", raising=False)
+    result = _run("bcast", "tree-shaddr", 2 * PW)
+    assert result.manifest.analytic is False
+
+
+def test_env_opt_in_and_explicit_override(monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_ANALYTIC", "1")
+    result = _run("bcast", "tree-shaddr", 2 * PW)
+    assert result.manifest.analytic is True
+    result = _run("bcast", "tree-shaddr", 2 * PW, analytic=False)
+    assert result.manifest.analytic is False
+
+
+def test_law_names_cover_registered_protocols():
+    from repro.collectives.registry import algorithm_info
+
+    laws = analytic.law_names()
+    for family, name in [
+        ("bcast", "tree-shaddr"),
+        ("bcast", "torus-shaddr"),
+        ("allreduce", "allreduce-torus-shaddr"),
+    ]:
+        assert algorithm_info(family, name).analytic in laws
+    # no other algorithm claims a law it can't have
+    assert algorithm_info("bcast", "torus-fifo").analytic is None

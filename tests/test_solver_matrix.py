@@ -1,0 +1,258 @@
+"""Three-way solver equivalence: slowpath / incremental / vectorized.
+
+The fair-share solver has three altitudes (``docs/performance.md``): the
+from-scratch reference traversal, the component-cache incremental path,
+and the numpy fill kernel on top of it.  These tests pin the contract
+that all three produce bit-identical results — on randomized flow graphs,
+and through real collectives with mid-window capacity faults — and that
+``compare_bench`` refuses to diff BENCH entries recorded under different
+solvers unless explicitly allowed.
+
+The vector kernel only engages on components with at least
+``_VECTOR_MIN_FLOWS`` flows, so these tests drop the threshold to zero
+(``vector_kernel_forced``) — otherwise every 2x2x2 graph would silently
+take the scalar path and the "vectorized" leg would test nothing.
+"""
+
+import contextlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.sim.flownet as flownet_mod
+from repro.bench.harness import run_collective
+from repro.hardware.fault_schedule import (
+    FaultSchedule,
+    LinkFlap,
+    NodeSlowdown,
+    TreePortFlap,
+)
+from repro.hardware.machine import Machine, Mode
+from repro.sim import Engine, FlowNetwork
+from repro.telemetry import bench_entry_solver, compare_bench
+
+#: solver label -> FlowNetwork.configure pins (explicit, so they survive
+#: the harness's per-run refresh_config)
+SOLVERS = {
+    "slowpath": {"incremental": False, "vectorized": False},
+    "incremental": {"incremental": True, "vectorized": False},
+    "vectorized": {"incremental": True, "vectorized": True},
+}
+
+
+@contextlib.contextmanager
+def vector_kernel_forced():
+    """Drop the vector-kernel size threshold so tiny graphs exercise it."""
+    old = flownet_mod._VECTOR_MIN_FLOWS
+    flownet_mod._VECTOR_MIN_FLOWS = 0
+    try:
+        yield
+    finally:
+        flownet_mod._VECTOR_MIN_FLOWS = old
+
+
+# ---------------------------------------------------------------------------
+# randomized flow graphs
+# ---------------------------------------------------------------------------
+
+@st.composite
+def flow_schedules(draw):
+    """Random resources plus staggered transfers and a capacity flip.
+
+    Small integer pools keep progressive filling in exact float
+    territory — the regime the simulator itself operates in.
+    """
+    n_resources = draw(st.integers(min_value=1, max_value=5))
+    capacities = [
+        float(draw(st.integers(min_value=1, max_value=64)))
+        for _ in range(n_resources)
+    ]
+    n_flows = draw(st.integers(min_value=1, max_value=10))
+    flows = []
+    for _ in range(n_flows):
+        subset = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n_resources - 1),
+                min_size=1,
+                max_size=min(3, n_resources),
+                unique=True,
+            )
+        )
+        usage = {
+            index: float(draw(st.integers(min_value=1, max_value=3)))
+            for index in subset
+        }
+        nbytes = float(draw(st.integers(min_value=1, max_value=4096)))
+        cap = draw(
+            st.one_of(
+                st.none(), st.integers(min_value=1, max_value=32).map(float)
+            )
+        )
+        start = float(draw(st.integers(min_value=0, max_value=50)))
+        flows.append((start, nbytes, cap, usage))
+    change = draw(
+        st.one_of(
+            st.none(),
+            st.tuples(
+                st.integers(min_value=1, max_value=40),  # when
+                st.integers(min_value=0, max_value=n_resources - 1),
+                st.integers(min_value=1, max_value=64),  # new capacity
+            ),
+        )
+    )
+    return capacities, flows, change
+
+
+def _simulate(capacities, flows, change, knobs):
+    with vector_kernel_forced():
+        engine = Engine()
+        # debug=True makes the vectorized leg dual-run every fill against
+        # the scalar kernel (and checks accumulators on the others).
+        net = FlowNetwork(engine, debug=True, **knobs)
+        resources = [
+            net.add_resource(f"r{i}", capacity)
+            for i, capacity in enumerate(capacities)
+        ]
+        completions = {}
+
+        def proc(index, start, nbytes, cap, usage):
+            if start > 0:
+                yield engine.timeout(start)
+            yield net.transfer(
+                {resources[r]: w for r, w in usage.items()},
+                nbytes,
+                cap=cap,
+                name=f"f{index}",
+            )
+            completions[index] = engine.now
+
+        for index, (start, nbytes, cap, usage) in enumerate(flows):
+            engine.spawn(proc(index, start, nbytes, cap, usage))
+        if change is not None:
+            when, r_index, new_capacity = change
+
+            def reconfigure():
+                yield engine.timeout(float(when))
+                resources[r_index].set_capacity(float(new_capacity))
+
+            engine.spawn(reconfigure())
+        engine.run()
+        return completions
+
+
+@settings(max_examples=50, deadline=None)
+@given(flow_schedules())
+def test_three_solvers_agree_on_random_graphs(schedule):
+    capacities, flows, change = schedule
+    results = {
+        name: _simulate(capacities, flows, change, knobs)
+        for name, knobs in SOLVERS.items()
+    }
+    # exact float equality, per-flow completion times
+    assert results["slowpath"] == results["incremental"]
+    assert results["slowpath"] == results["vectorized"]
+
+
+# ---------------------------------------------------------------------------
+# real collectives under mid-window capacity faults
+# ---------------------------------------------------------------------------
+
+CAPACITY_FAULTS = [
+    LinkFlap(start=5.0, duration=60.0, node=1, factor=0.25),
+    NodeSlowdown(start=10.0, duration=80.0, node=2, factor=0.5),
+    TreePortFlap(start=0.0, duration=50.0, node=3, factor=0.5),
+]
+
+
+def _collective_run(family, algorithm, x, knobs, faults):
+    with vector_kernel_forced():
+        machine = Machine(torus_dims=(2, 2, 2), mode=Mode.QUAD)
+        machine.flownet.configure(debug=True, **knobs)
+        if faults:
+            FaultSchedule(list(faults)).install(machine)
+        result = run_collective(
+            machine, family, algorithm, x, iters=2, steady_state=False
+        )
+        return result.elapsed_us, tuple(result.iterations_us)
+
+
+@pytest.mark.parametrize(
+    "family,algorithm,x",
+    [("bcast", "tree-shaddr", 32768), ("bcast", "torus-shaddr", 32768)],
+)
+def test_solvers_agree_under_capacity_faults(family, algorithm, x):
+    """LinkFlap/NodeSlowdown/TreePortFlap flip resource capacities while
+    flows are in flight — the re-solve path every solver must get right."""
+    results = {
+        name: _collective_run(family, algorithm, x, knobs, CAPACITY_FAULTS)
+        for name, knobs in SOLVERS.items()
+    }
+    assert results["slowpath"] == results["incremental"]
+    assert results["slowpath"] == results["vectorized"]
+    # Guard against vacuity: the fault windows must actually perturb the
+    # timing, or the equivalence above proved nothing.
+    clean = _collective_run(family, algorithm, x, SOLVERS["slowpath"], None)
+    assert results["slowpath"] != clean
+
+
+# ---------------------------------------------------------------------------
+# compare_bench refuses cross-solver diffs
+# ---------------------------------------------------------------------------
+
+def _bench(base_entry, new_entry):
+    return {"entries": {"base": base_entry, "new": new_entry}}
+
+
+def _entry(solver=None, elapsed=100.0, **extra):
+    entry = {
+        "smoke": False,
+        "sweeps": {
+            "tree_bcast": {"points": [{"x": 65536, "elapsed_us": elapsed}]}
+        },
+    }
+    if solver is not None:
+        entry["solver"] = solver
+    entry.update(extra)
+    return entry
+
+
+def test_compare_bench_refuses_cross_solver_entries():
+    bench = _bench(_entry(solver="incremental"), _entry(solver="vectorized"))
+    drifts = compare_bench(bench, "base", "new")
+    assert len(drifts) == 1
+    assert "different solvers" in drifts[0]
+    assert "--allow-cross-solver" in drifts[0]
+
+
+def test_compare_bench_allow_cross_solver_compares_points():
+    bench = _bench(
+        _entry(solver="incremental", elapsed=100.0),
+        _entry(solver="vectorized+analytic", elapsed=100.0),
+    )
+    assert compare_bench(bench, "base", "new", allow_cross_solver=True) == []
+    bench = _bench(
+        _entry(solver="incremental", elapsed=100.0),
+        _entry(solver="vectorized", elapsed=200.0),
+    )
+    drifts = compare_bench(bench, "base", "new", allow_cross_solver=True)
+    assert drifts and "elapsed_us" in drifts[0]
+
+
+def test_compare_bench_same_solver_unaffected():
+    bench = _bench(_entry(solver="vectorized"), _entry(solver="vectorized"))
+    assert compare_bench(bench, "base", "new") == []
+
+
+def test_bench_entry_solver_legacy_derivation():
+    """Entries recorded before the solver tag derive it from the legacy
+    slowpath boolean, so old BENCH files keep comparing."""
+    assert bench_entry_solver({"solver": "vectorized"}) == "vectorized"
+    assert bench_entry_solver({"slowpath": True}) == "slowpath"
+    assert bench_entry_solver({"slowpath": False}) == "incremental"
+    assert bench_entry_solver({}) == "incremental"
+    legacy = _entry()
+    legacy["slowpath"] = True
+    bench = _bench(legacy, _entry(solver="vectorized"))
+    drifts = compare_bench(bench, "base", "new")
+    assert drifts and "slowpath vs vectorized" in drifts[0]
