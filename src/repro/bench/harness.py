@@ -60,6 +60,7 @@ import numpy as np
 
 from repro.collectives.base import CollectiveResult, InvocationBase
 from repro.collectives.registry import get_algorithm, select_protocol
+from repro.hardware.network import UnsupportedTopologyError
 from repro.hardware.machine import Machine
 from repro.sim.config import analytic_enabled
 from repro.sim.engine import TransientFaultError
@@ -360,11 +361,19 @@ def run_collective(
                     f"family {family!r} has no auto-selection policy"
                 )
             algorithm = select_protocol(
-                family, spec.select_nbytes(machine, x), machine.ppn
+                family, spec.select_nbytes(machine, x), machine.ppn,
+                network=machine.network.name,
             )
         cls = get_algorithm(family, algorithm)
     else:
         cls = algorithm
+    wire = getattr(cls, "network", None)
+    if wire is not None and not machine.network.supports_wire(wire):
+        raise UnsupportedTopologyError(
+            f"{family}/{cls.name} rides the {wire!r} wire, which the "
+            f"{machine.network.name!r} backend does not provide "
+            f"(supported: {list(machine.network.wires)})"
+        )
     if not verify:
         if payload is not None:
             raise ValueError("payload requires verify=True")
@@ -430,7 +439,8 @@ def run_collective(
     result.manifest = RunManifest(
         family=family,
         algorithm=cls.name,
-        dims=tuple(machine.torus.dims),
+        dims=tuple(machine.network.dims),
+        network=machine.network.name,
         mode=machine.mode.name,
         ppn=machine.ppn,
         nprocs=machine.nprocs,

@@ -99,20 +99,21 @@ _MACHINES: Dict[Tuple, Machine] = {}
 
 
 def warm_machine(dims: Sequence[int], mode: str = "QUAD",
-                 wrap: bool = True) -> Machine:
+                 wrap: bool = True, network: str = "torus") -> Machine:
     """A pristine machine of the given geometry, reused across points.
 
-    The first request per (dims, mode, wrap) builds the machine; later
-    requests rebase its clock to the origin and hand it back.  After
+    The first request per (dims, mode, wrap, network) builds the machine;
+    later requests rebase its clock to the origin and hand it back.  After
     :meth:`Machine.rebase_time` a reused machine replays bit-identical
     float arithmetic to a fresh one, so points sharing a geometry skip
     reconstruction without perturbing results.
     """
-    key = (tuple(dims), mode, wrap)
+    key = (tuple(dims), mode, wrap, network)
     machine = _MACHINES.get(key)
     if machine is None:
         machine = Machine(
-            torus_dims=tuple(dims), mode=Mode[mode], wrap=wrap
+            torus_dims=tuple(dims), mode=Mode[mode], wrap=wrap,
+            network=network,
         )
         _MACHINES[key] = machine
     else:
@@ -124,7 +125,7 @@ def run_point(spec: dict):
     """Worker task: measure one collective point described by ``spec``.
 
     ``spec`` keys: ``family``, ``algorithm``, ``x`` plus the optional
-    ``dims``/``mode``/``wrap`` geometry and any keyword accepted by
+    ``dims``/``mode``/``wrap``/``network`` geometry and any keyword accepted by
     :func:`repro.bench.harness.run_collective` (``iters``, ``verify``,
     ``seed``, ``steady_state``, ``root``, ``window_caching``,
     ``analytic``, ``working_set_override``).
@@ -136,12 +137,14 @@ def run_point(spec: dict):
     dims = tuple(spec.get("dims", (2, 2, 2)))
     mode = spec.get("mode", "QUAD")
     wrap = bool(spec.get("wrap", True))
+    network = spec.get("network", "torus")
     # A barrier installs no working set, so a cached machine would leak
     # the previous point's memory regime into it: always build fresh.
     if spec.get("fresh_machine") or spec["family"] == "barrier":
-        machine = Machine(torus_dims=dims, mode=Mode[mode], wrap=wrap)
+        machine = Machine(torus_dims=dims, mode=Mode[mode], wrap=wrap,
+                          network=network)
     else:
-        machine = warm_machine(dims, mode, wrap)
+        machine = warm_machine(dims, mode, wrap, network)
     kwargs = {
         key: spec[key]
         for key in ("root", "iters", "verify", "window_caching", "seed",

@@ -17,6 +17,10 @@ Example config::
       "iters": 1
     }
 
+The machine block also accepts ``"network"`` (a backend name from
+:func:`repro.hardware.network.known_backends`, default ``"torus"``) and
+``"wrap"``.
+
 Any registered algorithm name of the kind works, plus ``"auto"``: the
 section-V selection table picks the protocol per x value, so the policy
 itself can be swept as a series.
@@ -117,6 +121,7 @@ def run_sweep(config: dict, jobs: Optional[int] = None) -> SweepResult:
     dims = tuple(machine_cfg.get("dims", (2, 2, 2)))
     mode = Mode[machine_cfg.get("mode", "quad").upper()]
     wrap = bool(machine_cfg.get("wrap", True))
+    network = machine_cfg.get("network", "torus")
     iters = int(config.get("iters", 1))
     analytic = bool(config.get("analytic", False))
     x_values = [parse_size(s) for s in config["sizes"]]
@@ -131,6 +136,7 @@ def run_sweep(config: dict, jobs: Optional[int] = None) -> SweepResult:
         {
             "family": kind, "algorithm": algorithm, "x": x,
             "dims": dims, "mode": mode.name, "wrap": wrap, "iters": iters,
+            **({"network": network} if network != "torus" else {}),
             **({"analytic": True} if analytic else {}),
         }
         for algorithm in config["algorithms"]

@@ -22,8 +22,16 @@ Commands
 ``trace``
     Run one collective with flow tracing (and telemetry role timelines)
     and write a Chrome Trace Format JSON for ``chrome://tracing``.
+``traffic``
+    Run a seeded multi-tenant workload (overlapping collective jobs on
+    one machine) and report per-job elapsed plus cross-job slowdown.
 ``params``
     Dump the calibrated model constants.
+
+Machine-building commands accept ``--network`` to pick an interconnect
+backend (``torus``, ``fattree``, ``leafspine`` — see
+``docs/topologies.md``); ``repro list --network <name>`` filters the
+algorithm listing to that backend.
 
 ``figure``, ``chaos`` and ``sweep`` accept ``--jobs N`` (or the
 ``REPRO_JOBS`` env var) to fan their independent simulation points across
@@ -51,7 +59,13 @@ from repro.analysis import predict_torus_bcast, predict_tree_bcast
 from repro.bench import format_report, utilization_report
 from repro.bench.harness import run_collective
 from repro.collectives.registry import families, iter_algorithms
-from repro.hardware import BGPParams, Machine, Mode
+from repro.hardware import (
+    BGPParams,
+    Machine,
+    Mode,
+    UnsupportedTopologyError,
+    known_backends,
+)
 from repro.util.units import parse_size
 
 _FIGURES = ("fig6", "fig7", "fig8", "fig9", "fig10", "table1")
@@ -90,11 +104,20 @@ def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_network_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--network", default="torus", choices=known_backends(),
+        help="interconnect backend (default torus); see docs/topologies.md",
+    )
+
+
 def _add_machine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--dims", type=_parse_dims, default=(2, 2, 2),
-        help="torus dimensions, e.g. 4x4x4 (default 2x2x2)",
+        help="machine geometry, e.g. 4x4x4 (default 2x2x2; the product "
+             "is the node count on non-torus networks)",
     )
+    _add_network_arg(parser)
     parser.add_argument(
         "--mode", type=_parse_mode, default=Mode.QUAD,
         help="operating mode: smp, dual or quad (default quad)",
@@ -134,7 +157,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list registered algorithms")
+    p = sub.add_parser("list", help="list registered algorithms")
+    p.add_argument(
+        "--network", default=None, choices=known_backends(),
+        help="only algorithms that can run on this backend",
+    )
 
     p = sub.add_parser("bcast", help="measure an MPI_Bcast")
     p.add_argument("--size", default="1M", help="message size, e.g. 128K")
@@ -225,8 +252,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--dims", type=_parse_dims, default=(2, 2, 2),
-        help="torus dimensions, e.g. 2x2x2",
+        help="machine geometry, e.g. 2x2x2",
     )
+    _add_network_arg(p)
     p.add_argument(
         "--smoke", action="store_true",
         help="shrink the sweep for CI (1 run, smallest sizes)",
@@ -234,6 +262,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--out", default="BENCH_robustness.json",
         help="robustness report path (default BENCH_robustness.json)",
+    )
+    _add_jobs_arg(p)
+
+    p = sub.add_parser(
+        "traffic",
+        help="seeded multi-tenant workload: overlapping jobs on one machine",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="workload seed (the whole scenario replays from it)",
+    )
+    p.add_argument(
+        "--njobs", type=int, default=3,
+        help="concurrent collective jobs to draw (default 3)",
+    )
+    p.add_argument(
+        "--dims", type=_parse_dims, default=(2, 2, 2),
+        help="machine geometry, e.g. 2x2x2",
+    )
+    p.add_argument(
+        "--mode", type=_parse_mode, default=Mode.QUAD,
+        help="operating mode: smp, dual or quad (default quad)",
+    )
+    _add_network_arg(p)
+    p.add_argument(
+        "--out", default=None,
+        help="write the traffic report JSON here",
+    )
+    p.add_argument(
+        "--bench", default=None, metavar="BENCH_JSON",
+        help="also record the scenario as a labelled entry in this "
+             "BENCH_core.json (see --label)",
+    )
+    p.add_argument(
+        "--label", default="multitenant",
+        help="entry label for --bench (default multitenant)",
     )
     _add_jobs_arg(p)
 
@@ -334,6 +398,7 @@ def _machine(args) -> Machine:
     return Machine(
         torus_dims=args.dims, mode=args.mode,
         wrap=not getattr(args, "mesh", False),
+        network=getattr(args, "network", "torus"),
     )
 
 
@@ -348,10 +413,17 @@ def _finish(args, machine: Machine, result) -> None:
 _MODE_NAMES = {1: "smp", 2: "dual", 4: "quad"}
 
 
-def _cmd_list(_args) -> int:
+def _cmd_list(args) -> int:
+    wires = None
+    if getattr(args, "network", None):
+        from repro.hardware.network import backend_class
+
+        wires = backend_class(args.network).wires
     for family in families():
         print(f"{family}:")
         for info in iter_algorithms(family):
+            if wires is not None and info.network not in wires:
+                continue
             modes = ",".join(_MODE_NAMES.get(p, str(p)) for p in info.modes)
             tags = []
             if info.shared_address:
@@ -484,6 +556,7 @@ def _cmd_chaos(args) -> int:
     report = chaos_campaign(
         seed=args.seed, runs=args.runs, dims=args.dims,
         smoke=args.smoke, out_path=args.out, jobs=args.jobs,
+        network=args.network,
     )
     summary = report["summary"]
     print(
@@ -567,7 +640,7 @@ def _cmd_trace(args) -> int:
     engine = Engine(trace=True)
     machine = Machine(
         torus_dims=args.dims, mode=args.mode, engine=engine,
-        wrap=not args.mesh,
+        wrap=not args.mesh, network=args.network,
     )
     recorder = None if args.no_telemetry else machine.attach_telemetry()
     result = run_collective(
@@ -598,6 +671,29 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_traffic(args) -> int:
+    from repro.bench.traffic import format_traffic_report, run_traffic
+
+    report = run_traffic(
+        seed=args.seed, njobs=args.njobs, dims=args.dims,
+        mode=args.mode, network=args.network, jobs=args.jobs,
+    )
+    print(format_traffic_report(report))
+    if args.out:
+        import json
+
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"traffic report written to {args.out}")
+    if args.bench:
+        from repro.bench.traffic import record_bench_entry
+
+        record_bench_entry(args.bench, args.label, report)
+        print(f"BENCH entry {args.label!r} written to {args.bench}")
+    return 0
+
+
 def _cmd_params(_args) -> int:
     params = BGPParams()
     for field in dataclasses.fields(params):
@@ -616,6 +712,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "trace": _cmd_trace,
     "sweep": _cmd_sweep,
+    "traffic": _cmd_traffic,
     "params": _cmd_params,
 }
 
@@ -624,7 +721,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except (KeyError, ValueError) as exc:
+    except (KeyError, ValueError, UnsupportedTopologyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -26,7 +26,6 @@ from repro.collectives.allgather.base import AllgatherInvocation
 from repro.collectives.common import DmaDirectPutDistributor
 from repro.collectives.registry import register
 from repro.msg.color import torus_colors
-from repro.msg.routes import ring_order
 from repro.sim.events import AllOf, Event
 from repro.sim.resources import Store
 from repro.sim.sync import SimCounter
@@ -35,13 +34,13 @@ from repro.sim.sync import SimCounter
 class _RingAllgatherBase(AllgatherInvocation):
     """Shared ring machinery; subclasses plug the intra-node stages."""
 
-    network = "torus"
+    network = "ptp"
 
     def setup(self) -> None:
         machine = self.machine
         engine = machine.engine
         self.color = torus_colors(1)[0]
-        self.ring: List[int] = ring_order(machine.torus, self.color, 0)
+        self.ring: List[int] = machine.network.ring_order(self.color, 0)
         self.nnodes = machine.nnodes
         self.start = Event(engine)
         #: per node: its own aggregated block is ready to enter the ring
@@ -89,7 +88,7 @@ class _RingAllgatherBase(AllgatherInvocation):
             else:
                 yield self._arrive[(i, step - 1)]
             yield engine.timeout(machine.params.dma_startup)
-            delivered = machine.torus.ptp_send(
+            delivered = machine.network.ptp_send(
                 self.color.id, node, successor, block,
                 name=f"ag.p{i}.s{step}",
             )

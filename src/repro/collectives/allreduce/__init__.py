@@ -1,12 +1,14 @@
 """Allreduce algorithms (section V-C)."""
 
 from repro.collectives.allreduce.base import AllreduceInvocation
+from repro.collectives.allreduce.ring_pipelined import RingPipelinedAllreduce
 from repro.collectives.allreduce.torus_current import TorusCurrentAllreduce
 from repro.collectives.allreduce.torus_shaddr import TorusShaddrAllreduce
 from repro.collectives.allreduce.tree_allreduce import TreeAllreduce
 
 __all__ = [
     "AllreduceInvocation",
+    "RingPipelinedAllreduce",
     "TorusCurrentAllreduce",
     "TorusShaddrAllreduce",
     "TreeAllreduce",

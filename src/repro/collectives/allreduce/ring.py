@@ -119,7 +119,7 @@ class RingReduce:
             if i > 0:
                 # Forward to the predecessor (toward the root).
                 yield engine.timeout(params.dma_startup)
-                delivered = machine.torus.ptp_send(
+                delivered = machine.network.ptp_send(
                     self.color.id, node, self.ring[i - 1], size,
                     name=f"ringsend.c{self.color.id}.p{i}.k{k}",
                 )

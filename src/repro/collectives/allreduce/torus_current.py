@@ -32,7 +32,6 @@ from repro.collectives.common import DmaDirectPutDistributor
 from repro.collectives.registry import register
 from repro.msg.color import partition_bytes, torus_colors
 from repro.msg.pipeline import ChunkPlan
-from repro.msg.routes import ring_order
 from repro.sim.events import AllOf
 from repro.sim.sync import SimCounter
 from repro.telemetry.recorder import ROLE_DMA_WAIT
@@ -43,6 +42,8 @@ class TorusCurrentAllreduce(AllreduceInvocation):
     """Baseline multi-color ring+broadcast allreduce, DMA-driven intra-node."""
 
     name = "allreduce-torus-current"
+    # The broadcast stage is the rectangle schedule over deposit-bit
+    # line broadcasts: this algorithm needs the real torus wire.
     network = "torus"
     ncolors = 3
     trace_rows = (("lred.", "copy"), ("gather.", "dma"))
@@ -98,7 +99,7 @@ class TorusCurrentAllreduce(AllreduceInvocation):
                 RingReduce(
                     self,
                     color,
-                    ring_order(machine.torus, color, root_node),
+                    machine.network.ring_order(color, root_node),
                     offsets[c],
                     parts[c],
                     chunk,

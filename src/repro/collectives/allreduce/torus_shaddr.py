@@ -28,7 +28,6 @@ from repro.collectives.bcast.torus_common import TorusBcastNetwork
 from repro.collectives.registry import register
 from repro.msg.color import partition_bytes, torus_colors
 from repro.msg.pipeline import ChunkPlan
-from repro.msg.routes import ring_order
 from repro.sim.resources import Store
 from repro.sim.sync import SimCounter
 from repro.telemetry.recorder import ROLE_PROTOCOL, reduce_core_role
@@ -39,6 +38,8 @@ class TorusShaddrAllreduce(AllreduceInvocation):
     """Core-specialized shared-address allreduce (the 'New' column)."""
 
     name = "allreduce-torus-shaddr"
+    # The broadcast stage is the rectangle schedule over deposit-bit
+    # line broadcasts: this algorithm needs the real torus wire.
     network = "torus"
     ncolors = 3
     trace_rows = (("lred.", "copy"), ("lbcast.", "copy"))
@@ -101,7 +102,7 @@ class TorusShaddrAllreduce(AllreduceInvocation):
                 RingReduce(
                     self,
                     color,
-                    ring_order(machine.torus, color, root_node),
+                    machine.network.ring_order(color, root_node),
                     self.offsets[c],
                     self.parts[c],
                     chunk,

@@ -29,7 +29,7 @@ from repro.sim.sync import SimCounter
 class _ShiftAlltoallBase(AlltoallInvocation):
     """Common shift-round machinery."""
 
-    network = "torus"
+    network = "ptp"
 
     def setup(self) -> None:
         machine = self.machine
@@ -70,7 +70,7 @@ class _ShiftAlltoallBase(AlltoallInvocation):
             dst_node = (node + s) % self.nnodes
             yield from self._stage_outgoing(node, dst_node)
             yield engine.timeout(machine.params.dma_startup)
-            delivered = machine.torus.ptp_send(
+            delivered = machine.network.ptp_send(
                 self.color.id, node, dst_node, set_bytes,
                 name=f"a2a.n{node}.s{s}",
             )

@@ -116,7 +116,7 @@ class TorusDisseminationBarrier(BarrierInvocation):
     """Dissemination barrier over the torus (log2 N rounds of packets)."""
 
     name = "barrier-torus"
-    network = "torus"
+    network = "ptp"
 
     def setup(self) -> None:
         machine = self.machine
@@ -155,7 +155,7 @@ class TorusDisseminationBarrier(BarrierInvocation):
         for k in range(self.rounds):
             partner = (node + (1 << k)) % n
             yield from ctx.dma.post()
-            delivered = machine.torus.ptp_send(
+            delivered = machine.network.ptp_send(
                 0, node, partner, params.torus_packet_bytes,
                 name=f"bar.n{node}.k{k}",
             )

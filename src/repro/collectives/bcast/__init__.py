@@ -1,5 +1,6 @@
-"""Broadcast algorithms (torus and collective-network families)."""
+"""Broadcast algorithms (torus, collective-network, and ring families)."""
 
+from repro.collectives.bcast.ring import RingPipelinedBcast
 from repro.collectives.bcast.torus_direct_put import (
     TorusDirectPutBcast,
     TorusDirectPutSmpBcast,
@@ -15,6 +16,7 @@ from repro.collectives.bcast.tree_shmem import TreeShmemBcast
 from repro.collectives.bcast.tree_shaddr import TreeShaddrBcast
 
 __all__ = [
+    "RingPipelinedBcast",
     "TorusDirectPutBcast",
     "TorusDirectPutSmpBcast",
     "TorusFifoBcast",

@@ -18,14 +18,13 @@ from typing import Dict, List, Tuple
 from repro.collectives.gather.base import GatherInvocation
 from repro.collectives.registry import register
 from repro.msg.color import torus_colors
-from repro.msg.routes import ring_order
 from repro.sim.events import AllOf, Event
 
 
 class _RingGatherBase(GatherInvocation):
     """Common ring machinery for both gather variants."""
 
-    network = "torus"
+    network = "ptp"
     #: subclass knob: stage the node block through the DMA first?
     stage_with_dma = True
 
@@ -33,7 +32,7 @@ class _RingGatherBase(GatherInvocation):
         machine = self.machine
         engine = machine.engine
         self.color = torus_colors(1)[0]
-        self.ring: List[int] = ring_order(machine.torus, self.color, 0)
+        self.ring: List[int] = machine.network.ring_order(self.color, 0)
         self.nnodes = machine.nnodes
         self.start = Event(engine)
         self.own_ready: List[Event] = [
@@ -84,7 +83,7 @@ class _RingGatherBase(GatherInvocation):
                 yield self._arrive[(i, j - 1)]
                 src_node = self.ring[i + j]
             yield engine.timeout(machine.params.dma_startup)
-            delivered = machine.torus.ptp_send(
+            delivered = machine.network.ptp_send(
                 self.color.id, node, predecessor, block,
                 name=f"g.p{i}.b{j}",
             )

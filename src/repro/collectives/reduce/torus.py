@@ -15,7 +15,6 @@ from repro.collectives.reduce.base import DOUBLE, ReduceInvocation
 from repro.collectives.registry import register
 from repro.msg.color import partition_bytes, torus_colors
 from repro.msg.pipeline import ChunkPlan
-from repro.msg.routes import ring_order
 from repro.sim.events import AllOf, Event
 from repro.sim.sync import SimCounter
 
@@ -23,7 +22,7 @@ from repro.sim.sync import SimCounter
 class _TorusReduceBase(ReduceInvocation):
     """Shared ring + bookkeeping for both reduce variants."""
 
-    network = "torus"
+    network = "ptp"
     ncolors = 3
 
     def setup(self) -> None:
@@ -60,7 +59,7 @@ class _TorusReduceBase(ReduceInvocation):
                 RingReduce(
                     self,
                     color,
-                    ring_order(machine.torus, color, root_node),
+                    machine.network.ring_order(color, root_node),
                     self.offsets[c],
                     self.parts[c],
                     chunk,

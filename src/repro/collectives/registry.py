@@ -35,6 +35,7 @@ from repro.collectives.selection import (
     select_protocol,
     selectable_families,
 )
+from repro.hardware.network import known_networks
 
 __all__ = [
     "ALL_MODES",
@@ -74,7 +75,8 @@ class AlgorithmInfo:
     family: str
     name: str
     cls: type = field(repr=False)
-    #: the wire it rides: "torus", "tree" or "gi"
+    #: the wire it rides: "torus", "tree", "gi" or "ptp" — validated at
+    #: registration against :func:`repro.hardware.network.known_networks`
     network: str
     #: ppn values the constructor accepts
     modes: Tuple[int, ...]
@@ -133,6 +135,11 @@ def register(
         if not network or network == "?":
             raise ValueError(
                 f"{cls.__name__} must define a `network` attribute"
+            )
+        if network not in known_networks():
+            raise ValueError(
+                f"{cls.__name__}.network = {network!r} is not a known "
+                f"network backend or wire; known: {known_networks()}"
             )
         info = AlgorithmInfo(
             family=family,
@@ -198,13 +205,19 @@ def list_algorithms(family: str) -> List[str]:
     return sorted(_family_bucket(family))
 
 
-def fallback_chain(family: str, name: str, ppn: int) -> List[str]:
+def fallback_chain(
+    family: str, name: str, ppn: int,
+    wires: Optional[Sequence[str]] = None,
+) -> List[str]:
     """Degradation ladder starting at ``name``, filtered to ``ppn``.
 
     Walks :data:`repro.collectives.selection.FALLBACK_TABLE` from ``name``
     and keeps only protocols whose registered modes include ``ppn``
     (``name`` itself is kept unconditionally — the caller already chose
-    it).  The resilience layer tries the entries in order, moving down one
+    it).  When ``wires`` is given (a machine backend's supported wire
+    tags), rungs riding an unsupported wire are skipped too, so the
+    ladder never degrades onto a network the machine does not have.
+    The resilience layer tries the entries in order, moving down one
     rung each time a :class:`~repro.sim.engine.TransientFaultError`
     escapes a run.
     """
@@ -217,8 +230,12 @@ def fallback_chain(family: str, name: str, ppn: int) -> List[str]:
             break
         seen.add(nxt)
         current = nxt
-        if algorithm_info(family, nxt).supports_ppn(ppn):
-            chain.append(nxt)
+        info = algorithm_info(family, nxt)
+        if not info.supports_ppn(ppn):
+            continue
+        if wires is not None and info.network not in wires:
+            continue
+        chain.append(nxt)
     return chain
 
 

@@ -16,7 +16,6 @@ from typing import Dict, List, Tuple
 from repro.collectives.registry import register
 from repro.collectives.scatter.base import ScatterInvocation
 from repro.msg.color import torus_colors
-from repro.msg.routes import ring_order
 from repro.sim.events import Event
 from repro.sim.sync import SimCounter
 
@@ -24,13 +23,13 @@ from repro.sim.sync import SimCounter
 class _RingScatterBase(ScatterInvocation):
     """Common ring machinery for both scatter variants."""
 
-    network = "torus"
+    network = "ptp"
 
     def setup(self) -> None:
         machine = self.machine
         engine = machine.engine
         self.color = torus_colors(1)[0]
-        self.ring: List[int] = ring_order(machine.torus, self.color, 0)
+        self.ring: List[int] = machine.network.ring_order(self.color, 0)
         self.nnodes = machine.nnodes
         self.start = Event(engine)
         # arrival at position i of the j-th block in the stream
@@ -67,7 +66,7 @@ class _RingScatterBase(ScatterInvocation):
             # Farthest destination first: positions N-1 down to 1.
             for j, dest in enumerate(range(self.nnodes - 1, 0, -1)):
                 yield engine.timeout(machine.params.dma_startup)
-                delivered = machine.torus.ptp_send(
+                delivered = machine.network.ptp_send(
                     self.color.id, node, successor, block,
                     name=f"s.root.b{j}",
                 )
@@ -88,7 +87,7 @@ class _RingScatterBase(ScatterInvocation):
                 self.node_block_here[node].trigger(None)
                 continue
             yield engine.timeout(machine.params.dma_startup)
-            delivered = machine.torus.ptp_send(
+            delivered = machine.network.ptp_send(
                 self.color.id, node, successor, block,
                 name=f"s.p{i}.b{forwarded}",
             )

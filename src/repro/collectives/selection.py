@@ -35,6 +35,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.hardware.network import UnsupportedTopologyError
 from repro.util.units import KIB
 
 #: one crossover: (inclusive upper bound in bytes or None, algorithm name)
@@ -81,6 +82,50 @@ SELECTION_TABLE: Dict[str, Tuple[ModeRule, ...]] = {
             (None, "reduce-torus-current"),
         )),
     ),
+}
+
+#: the policy for switched point-to-point fabrics (fat-tree, leaf-spine):
+#: no collective tree and no deposit-bit line broadcasts exist there, so
+#: every family falls back to its ring/point-to-point schemes.  The
+#: intra-node split survives unchanged — quad mode still prefers the
+#: shared-address schemes once their window-mapping cost amortizes.
+_PTP_SELECTION_TABLE: Dict[str, Tuple[ModeRule, ...]] = {
+    "bcast": (
+        (None, (
+            (None, "ring-pipelined"),
+        )),
+    ),
+    # The rectangle-schedule allreduces ride the torus wire; switched
+    # fabrics get the ring-reduction + ring-broadcast pipeline instead.
+    "allreduce": (
+        (None, (
+            (None, "allreduce-ring-pipelined"),
+        )),
+    ),
+    "allgather": (
+        ((1,), (
+            (None, "allgather-ring-current"),
+        )),
+        (None, (
+            (8 * KIB, "allgather-ring-current"),
+            (None, "allgather-ring-shaddr"),
+        )),
+    ),
+    "reduce": (
+        ((4,), (
+            (None, "reduce-torus-shaddr"),
+        )),
+        (None, (
+            (None, "reduce-torus-current"),
+        )),
+    ),
+}
+
+#: network backend -> its selection table
+SELECTION_TABLES: Dict[str, Dict[str, Tuple[ModeRule, ...]]] = {
+    "torus": SELECTION_TABLE,
+    "fattree": _PTP_SELECTION_TABLE,
+    "leafspine": _PTP_SELECTION_TABLE,
 }
 
 
@@ -137,12 +182,22 @@ def next_fallback(family: str, name: str) -> Optional[str]:
     return FALLBACK_TABLE.get(family, {}).get(name)
 
 
-def select_protocol(family: str, nbytes: int, ppn: int) -> str:
+def select_protocol(family: str, nbytes: int, ppn: int,
+                    network: str = "torus") -> str:
     """Pick the algorithm name for ``family`` at ``nbytes`` under ``ppn``.
 
-    Walks :data:`SELECTION_TABLE`; see the module docstring for the
-    table's matching semantics.
+    Walks the ``network``'s table in :data:`SELECTION_TABLES`; see the
+    module docstring for the matching semantics.  An unknown family is a
+    :class:`KeyError` (a lookup typo); a known family with no candidates
+    on the requested network — or an unknown network — is an
+    :class:`~repro.hardware.network.UnsupportedTopologyError` (a
+    configuration statement, never to be swallowed by KeyError handlers).
     """
+    if network not in SELECTION_TABLES:
+        raise UnsupportedTopologyError(
+            f"no selection policy for network {network!r}; "
+            f"known: {sorted(SELECTION_TABLES)}"
+        )
     if family not in SELECTION_TABLE:
         raise KeyError(
             f"no selection policy for family {family!r}; "
@@ -152,7 +207,13 @@ def select_protocol(family: str, nbytes: int, ppn: int) -> str:
         raise ValueError(f"nbytes must be >= 0, got {nbytes}")
     if ppn < 1:
         raise ValueError(f"ppn must be >= 1, got {ppn}")
-    for modes, ladder in SELECTION_TABLE[family]:
+    table = SELECTION_TABLES[network]
+    if family not in table:
+        raise UnsupportedTopologyError(
+            f"family {family!r} has no registered candidates on network "
+            f"{network!r}; families there: {sorted(table)}"
+        )
+    for modes, ladder in table[family]:
         if modes is not None and ppn not in modes:
             continue
         for max_nbytes, algorithm in ladder:

@@ -369,22 +369,22 @@ class FaultSchedule:
     @staticmethod
     def _link_flap_actions(machine: "Machine", fault: LinkFlap):
         _check_factor(fault.factor)
-        torus = machine.torus
+        network = machine.network
         scaled: List = []
 
         def hook(key, channel) -> None:
-            if torus.channel_touches(key, fault.node):
+            if network.channel_touches(key, fault.node):
                 channel.set_capacity(channel.capacity * fault.factor)
                 scaled.append(channel)
 
         def apply() -> None:
-            for channel in torus.channels_touching(fault.node):
+            for channel in network.channels_touching(fault.node):
                 channel.set_capacity(channel.capacity * fault.factor)
                 scaled.append(channel)
-            torus.add_channel_hook(hook)
+            network.add_channel_hook(hook)
 
         def revert() -> None:
-            torus.remove_channel_hook(hook)
+            network.remove_channel_hook(hook)
             for channel in scaled:
                 channel.set_capacity(channel.capacity / fault.factor)
             scaled.clear()

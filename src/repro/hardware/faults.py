@@ -82,10 +82,11 @@ def degrade_torus_channels(machine: Machine, node: int, factor: float) -> None:
     invocation has been constructed (routes built), or re-apply before each
     run.  Channels whose line passes through the node are scaled — the
     moral equivalent of one node's links training down to a lower rate.
-    Uses the public :meth:`TorusNetwork.channels_touching` enumeration.
+    Uses the public :meth:`NetworkBackend.channels_touching` enumeration
+    (any backend, not just the torus).
     """
     _check_factor(factor)
-    for channel in machine.torus.channels_touching(node):
+    for channel in machine.network.channels_touching(node):
         channel.set_capacity(channel.capacity * factor)
 
 

@@ -22,6 +22,11 @@ from typing import Callable, List, Optional, Tuple
 from repro.hardware.dma import DmaEngine
 from repro.hardware.fault_schedule import ActiveFaults, RetryPolicy
 from repro.hardware.memory import MemoryModel, MemoryRegime
+from repro.hardware.network import (
+    NetworkBackend,
+    UnsupportedTopologyError,
+    create_network,
+)
 from repro.hardware.node import Node
 from repro.hardware.params import BGPParams
 from repro.hardware.torus import TorusNetwork
@@ -53,16 +58,24 @@ class Machine:
         params: Optional[BGPParams] = None,
         engine: Optional[Engine] = None,
         wrap: bool = True,
+        network: str = "torus",
+        network_params: Optional[dict] = None,
     ):
         self.params = params if params is not None else BGPParams()
         self.mode = mode
         self.engine = engine if engine is not None else Engine()
         self.flownet = FlowNetwork(self.engine)
         self.memory_model = MemoryModel(self.params)
-        self.torus = TorusNetwork(self, tuple(torus_dims), wrap=wrap)
-        self.nnodes = self.torus.nnodes
+        #: the interconnect backend (``torus`` by default); ``torus_dims``
+        #: keeps its historical name — non-torus backends read it as a
+        #: geometry tuple whose product is the node count
+        self.network: NetworkBackend = create_network(
+            network, self, tuple(torus_dims), wrap=wrap,
+            params=network_params,
+        )
+        self.nnodes = self.network.nnodes
         self.nodes: List[Node] = [
-            Node(self, i, self.torus.coords(i)) for i in range(self.nnodes)
+            Node(self, i, self.network.coords(i)) for i in range(self.nnodes)
         ]
         self.dma: List[DmaEngine] = [DmaEngine(node) for node in self.nodes]
         self.tree = CollectiveNetwork(self)
@@ -81,6 +94,23 @@ class Machine:
                 f"mode {mode} needs {self.ppn} cores but the node has "
                 f"{self.params.cores_per_node}"
             )
+
+    @property
+    def torus(self) -> TorusNetwork:
+        """The torus backend, when this machine has one.
+
+        Torus-only code paths (the rectangle schedules, deposit-bit line
+        broadcasts, the analytic laws) reach the interconnect through this
+        property; on a non-torus backend it raises
+        :class:`UnsupportedTopologyError` instead of silently handing out
+        an object without ``line_broadcast``.
+        """
+        if isinstance(self.network, TorusNetwork):
+            return self.network
+        raise UnsupportedTopologyError(
+            f"machine network is {self.network.name!r}, not a torus; "
+            "torus-only primitives are unavailable"
+        )
 
     # -- rank mapping ----------------------------------------------------
     def rank_to_node(self, rank: int) -> int:
@@ -217,7 +247,8 @@ class Machine:
         self.faults.rebase(now)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        net = "" if self.network.name == "torus" else f" net={self.network.name}"
         return (
-            f"<Machine {self.torus.dims} mode={self.mode.name} "
-            f"nprocs={self.nprocs}>"
+            f"<Machine {self.network.dims} mode={self.mode.name} "
+            f"nprocs={self.nprocs}{net}>"
         )

@@ -32,13 +32,15 @@ which is where this paper's contention story happens.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Tuple
 
+from repro.hardware.network import NetworkBackend, register_backend
 from repro.sim.events import Event
 from repro.sim.flownet import Flow, FlowResource
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.hardware.machine import Machine
+    from repro.msg.color import Color
 
 Coords = Tuple[int, int, int]
 
@@ -57,23 +59,24 @@ class LineTransfer:
         self.done = done
 
 
-class TorusNetwork:
+@register_backend
+class TorusNetwork(NetworkBackend):
     """The 3D torus: topology bookkeeping plus transfer primitives."""
+
+    name = "torus"
+    #: the torus hosts every wire: its own deposit-bit line broadcasts,
+    #: plain point-to-point sends, and the BG/P tree/GI networks the
+    #: Machine builds alongside it
+    wires = ("torus", "ptp", "tree", "gi")
 
     def __init__(self, machine: "Machine", dims: Coords, wrap: bool = True):
         if len(dims) != 3 or any(d < 1 for d in dims):
             raise ValueError(f"torus dims must be 3 positive ints, got {dims}")
-        self.machine = machine
-        self.dims = tuple(int(d) for d in dims)
+        # wrap: True = torus (wraparound links), False = 3D mesh.  The
+        # paper's multi-color algorithms use six edge-disjoint routes on a
+        # torus but only three on a mesh (section V-A-1).
+        super().__init__(machine, dims, wrap=wrap)
         self.nnodes = dims[0] * dims[1] * dims[2]
-        #: True = torus (wraparound links), False = 3D mesh.  The paper's
-        #: multi-color algorithms use six edge-disjoint routes on a torus
-        #: but only three on a mesh (section V-A-1).
-        self.wrap = wrap
-        self._channels: Dict[Tuple, FlowResource] = {}
-        #: callbacks fired when a channel is lazily created (fault injectors
-        #: use this so flaps also catch channels built mid-window)
-        self._channel_hooks: List[Callable[[Tuple, FlowResource], None]] = []
 
     # -- topology -----------------------------------------------------------
     def coords(self, index: int) -> Coords:
@@ -133,8 +136,14 @@ class TorusNetwork:
             total += delta
         return total
 
+    def ring_order(self, color: "Color", root: int) -> List[int]:
+        """The color's boustrophedon snake ring, rotated to ``root``."""
+        from repro.msg.routes import ring_order
+
+        return ring_order(self, color, root)
+
     # -- channels -----------------------------------------------------------
-    def iter_channels(self) -> Iterator[Tuple[Tuple, FlowResource]]:
+    def iter_channels(self):
         """Yield ``(key, channel)`` for every channel created so far.
 
         Keys are ``("line", color, dim, sign, line_id)`` for deposit-bit
@@ -161,31 +170,6 @@ class TorusNetwork:
                 line_id[d] == coords[d] for d in range(3) if d != dim
             )
         return key[4] == node
-
-    def channels_touching(self, node: int) -> List[FlowResource]:
-        """Existing channels whose line or segment passes through ``node``."""
-        return [
-            channel for key, channel in self.iter_channels()
-            if self.channel_touches(key, node)
-        ]
-
-    def add_channel_hook(
-        self, hook: Callable[[Tuple, FlowResource], None]
-    ) -> None:
-        """Call ``hook(key, channel)`` whenever a channel is lazily created."""
-        self._channel_hooks.append(hook)
-
-    def remove_channel_hook(
-        self, hook: Callable[[Tuple, FlowResource], None]
-    ) -> None:
-        """Deregister a channel-creation hook (no-op if absent)."""
-        if hook in self._channel_hooks:
-            self._channel_hooks.remove(hook)
-
-    def _install_channel(self, key: Tuple, channel: FlowResource) -> None:
-        self._channels[key] = channel
-        for hook in self._channel_hooks:
-            hook(key, channel)
 
     def _line_channel(self, color: int, dim: int, sign: int, line_id: Tuple
                       ) -> FlowResource:

@@ -88,7 +88,7 @@ def _send(machine: Machine, src_rank: int, dst_rank: int, nbytes: int,
         if same_node:
             yield dma.local_copy_flow(payload, name="p2p.local")
         else:
-            yield machine.torus.ptp_send(
+            yield machine.network.ptp_send(
                 0, src_node, dst_node, payload, name="p2p"
             )
 
@@ -117,7 +117,7 @@ def _reverse_wire(machine: Machine, src_node: int, dst_node: int):
     if src_node == dst_node:
         yield machine.engine.timeout(machine.params.flag_cost)
     else:
-        yield machine.torus.ptp_send(
+        yield machine.network.ptp_send(
             1, dst_node, src_node, _HEADER_BYTES, name="p2p.cts"
         )
 
@@ -145,7 +145,7 @@ def run_pingpong(
         node_a = machine.rank_to_node(rank_a)
         far_node = max(
             range(machine.nnodes),
-            key=lambda n: machine.torus.hop_distance(node_a, n),
+            key=lambda n: machine.network.hop_distance(node_a, n),
         )
         rank_b = machine.node_ranks(far_node)[0]
     machine.check_rank(rank_b)

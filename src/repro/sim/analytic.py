@@ -401,6 +401,9 @@ def gate_reason(
         return "no-law"
     if info.analytic not in _LAWS:
         return "unknown-law"
+    if machine.network.name != "torus":
+        # every law was probe-validated on the torus backend only
+        return "non-torus-network"
     if verify or payload is not None:
         return "verify"
     if deadline_us is not None:

@@ -76,13 +76,22 @@ class RunManifest:
     #: True when the point was served by the closed-form fast path of
     #: :mod:`repro.sim.analytic` instead of the DES
     analytic: bool = False
+    #: network backend the machine ran on; defaulted so manifests recorded
+    #: before the pluggable-backend layer existed still load
+    network: str = "torus"
 
     @property
     def spec_key(self) -> str:
-        """Stable identity used to pair a run with its committed baseline."""
+        """Stable identity used to pair a run with its committed baseline.
+
+        Torus keys keep their historical shape (no network segment) so
+        committed baselines stay valid; non-torus runs get a
+        ``net-<backend>`` segment.
+        """
         dims = "x".join(str(d) for d in self.dims)
+        net = "" if self.network == "torus" else f"/net-{self.network}"
         return (
-            f"{self.family}/{self.algorithm}/{dims}/{self.mode.lower()}"
+            f"{self.family}/{self.algorithm}{net}/{dims}/{self.mode.lower()}"
             f"/x{self.x}/i{self.iters}"
         )
 
@@ -153,8 +162,8 @@ def compare_manifests(current: RunManifest, baseline: RunManifest,
     disappears is exactly the silent regression the gate exists to catch.
     """
     drifts: List[str] = []
-    for fld in ("family", "algorithm", "dims", "mode", "ppn", "nprocs",
-                "x", "iters"):
+    for fld in ("family", "algorithm", "network", "dims", "mode", "ppn",
+                "nprocs", "x", "iters"):
         mine, theirs = getattr(current, fld), getattr(baseline, fld)
         if mine != theirs:
             drifts.append(f"{fld}: baseline {theirs!r} != current {mine!r}")

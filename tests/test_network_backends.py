@@ -1,0 +1,422 @@
+"""Pluggable network backends: registry, topologies, wire gates, chaos,
+and the multi-tenant traffic harness.
+
+Covers the backend registry and its ``@register``-time validation of
+``AlgorithmInfo.network`` tags, the fat-tree / leaf-spine topology and
+routing invariants (deterministic ECMP coloring, hop counts, channel
+ownership via the public ``iter_channels`` / ``channels_touching`` /
+``add_channel_hook`` surface), the per-network selection tables and their
+:class:`UnsupportedTopologyError` semantics, chaos fault injection on a
+switched fabric (LinkFlap / NodeSlowdown / fallback ladder), MachineView
+sub-communicator semantics, and the seeded multi-tenant traffic
+generator's determinism and contention guarantees.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.chaos import _machine_factory, run_resilient_collective
+from repro.bench.harness import run_collective
+from repro.bench.traffic import (
+    JOB_MENU,
+    MachineView,
+    draw_jobs,
+    overlapping_pairs,
+    run_traffic,
+)
+from repro.collectives import registry
+from repro.collectives.registry import fallback_chain, select_protocol
+from repro.hardware.fault_schedule import (
+    FaultSchedule,
+    LinkFlap,
+    NodeSlowdown,
+    WindowFault,
+)
+from repro.hardware.machine import Machine, Mode
+from repro.hardware.network import (
+    AUX_WIRES,
+    UnsupportedTopologyError,
+    backend_class,
+    known_backends,
+    known_networks,
+)
+from repro.msg.color import torus_colors
+
+
+def fattree_machine(dims=(2, 2, 1), mode=Mode.QUAD, **params):
+    return Machine(torus_dims=dims, mode=mode, network="fattree",
+                   network_params=params or None)
+
+
+def leafspine_machine(dims=(2, 2, 1), mode=Mode.QUAD, **params):
+    return Machine(torus_dims=dims, mode=mode, network="leafspine",
+                   network_params=params or None)
+
+
+class TestBackendRegistry:
+    def test_known_backends(self):
+        assert known_backends() == ["fattree", "leafspine", "torus"]
+
+    def test_known_networks_are_backends_plus_wires(self):
+        networks = known_networks()
+        for name in known_backends():
+            assert name in networks
+        for wire in AUX_WIRES:
+            assert wire in networks
+
+    def test_backend_class_exposes_wires_without_a_machine(self):
+        assert backend_class("torus").wires == ("torus", "ptp", "tree", "gi")
+        assert backend_class("fattree").wires == ("ptp", "gi")
+        assert backend_class("leafspine").wires == ("ptp", "gi")
+
+    def test_unknown_backend_is_a_topology_error(self):
+        with pytest.raises(UnsupportedTopologyError):
+            backend_class("hypercube")
+        with pytest.raises(UnsupportedTopologyError):
+            Machine(torus_dims=(2, 1, 1), mode=Mode.QUAD,
+                    network="hypercube")
+
+    def test_register_validates_network_tag(self):
+        """@register refuses an algorithm whose network tag is neither a
+        backend nor a wire — typos die at class-decoration time."""
+
+        class BadWire:
+            name = "test-bad-wire"
+            network = "infiniband"
+
+        with pytest.raises(ValueError, match="not a known"):
+            registry.register("bcast")(BadWire)
+
+        class NoWire:
+            name = "test-no-wire"
+
+        with pytest.raises(ValueError, match="network"):
+            registry.register("bcast")(NoWire)
+
+    def test_every_registered_network_tag_is_known(self):
+        for info in registry.iter_algorithms():
+            assert info.network in known_networks(), info.name
+
+
+class TestFatTreeTopology:
+    def test_k_fits_node_count(self):
+        from repro.hardware.fattree import _fit_k
+
+        assert _fit_k(1) == 2
+        assert _fit_k(2) == 2
+        assert _fit_k(3) == 4
+        assert _fit_k(16) == 4
+        assert _fit_k(17) == 6
+        net = fattree_machine(dims=(2, 2, 2)).network
+        assert net.k == 4 and net.nnodes == 8
+
+    def test_explicit_k_validated(self):
+        net = fattree_machine(dims=(2, 2, 1), k=8).network
+        assert net.k == 8 and net.radix == 4
+        with pytest.raises(ValueError):
+            fattree_machine(k=3)
+        with pytest.raises(ValueError):
+            fattree_machine(dims=(4, 4, 4), k=2)  # 2 host slots for 64
+
+    def test_hop_distances(self):
+        net = fattree_machine(dims=(4, 4, 1), k=4).network  # radix 2
+        assert net.hop_distance(0, 0) == 0
+        assert net.hop_distance(0, 1) == 2   # same edge switch
+        assert net.hop_distance(0, 2) == 4   # same pod, other edge
+        assert net.hop_distance(0, 4) == 6   # via core
+        # Route length always equals the advertised hop count.
+        for src in range(net.nnodes):
+            for dst in range(net.nnodes):
+                if src == dst:
+                    continue
+                keys = net.route_channel_keys(0, src, dst)
+                assert len(keys) == net.hop_distance(src, dst), (src, dst)
+
+    def test_ecmp_routes_are_deterministic_and_color_spread(self):
+        net = fattree_machine(dims=(4, 4, 1), k=4).network
+        # Same (color, src, dst) -> byte-identical route, every time.
+        assert net.route_channel_keys(1, 0, 5) == net.route_channel_keys(
+            1, 0, 5
+        )
+        # Distinct colors spread across the radix=2 equal-cost choices.
+        routes = {tuple(net.route_channel_keys(c, 0, 5)) for c in range(2)}
+        assert len(routes) == 2
+
+    def test_channel_touches_covers_both_endpoints(self):
+        net = fattree_machine(dims=(4, 4, 1), k=4).network
+        for src, dst in ((0, 1), (0, 2), (0, 5), (3, 12)):
+            for key in net.route_channel_keys(0, src, dst):
+                assert net.channel_touches(key, src) or net.channel_touches(
+                    key, dst
+                ), (src, dst, key)
+
+    def test_ring_order_is_rooted_permutation(self):
+        net = fattree_machine(dims=(2, 2, 2)).network
+        for color in torus_colors(3):
+            ring = net.ring_order(color, 3)
+            assert ring[0] == 3
+            assert sorted(ring) == list(range(net.nnodes))
+
+    def test_channels_appear_lazily_via_public_surface(self):
+        machine = fattree_machine()
+        net = machine.network
+        assert list(net.iter_channels()) == []
+        created = []
+        net.add_channel_hook(lambda key, ch: created.append(key))
+        net.ptp_send(0, 0, 3, 4096)
+        assert created, "ptp_send created no channels"
+        assert dict(net.iter_channels()), "channels not enumerable"
+        assert net.channels_touching(0), "no channel touches the source"
+        net.remove_channel_hook(created.append)  # absent hook: no-op
+
+
+class TestLeafSpineTopology:
+    def test_geometry_defaults_and_params(self):
+        net = leafspine_machine(dims=(2, 2, 2)).network
+        assert net.leaf_width == 4 and net.nspines == 2 and net.nleaves == 2
+        net = leafspine_machine(dims=(2, 2, 2), leaf_width=2,
+                                nspines=4).network
+        assert net.nleaves == 4 and net.nspines == 4
+
+    def test_hop_distances_and_route_lengths(self):
+        net = leafspine_machine(dims=(2, 2, 2)).network
+        assert net.hop_distance(0, 0) == 0
+        assert net.hop_distance(0, 3) == 2   # same leaf
+        assert net.hop_distance(0, 4) == 4   # via a spine
+        for src in range(net.nnodes):
+            for dst in range(net.nnodes):
+                if src == dst:
+                    continue
+                keys = net.route_channel_keys(0, src, dst)
+                assert len(keys) == net.hop_distance(src, dst)
+
+    def test_spine_choice_deterministic_and_color_spread(self):
+        net = leafspine_machine(dims=(2, 2, 2)).network
+        assert net.route_channel_keys(0, 0, 4) == net.route_channel_keys(
+            0, 0, 4
+        )
+        routes = {tuple(net.route_channel_keys(c, 0, 4)) for c in range(2)}
+        assert len(routes) == 2
+
+    def test_channel_touches(self):
+        net = leafspine_machine(dims=(2, 2, 2)).network
+        for key in net.route_channel_keys(0, 0, 4):
+            assert net.channel_touches(key, 0) or net.channel_touches(key, 4)
+        # A leaf uplink touches every host under that leaf, no others.
+        uplink = ("lup", 0, 0, 1)
+        for node in range(net.nnodes):
+            assert net.channel_touches(uplink, node) == (net.leaf(node) == 0)
+
+
+class TestWireGate:
+    def test_torus_wire_algorithm_refused_off_torus(self):
+        with pytest.raises(UnsupportedTopologyError, match="torus"):
+            run_collective(fattree_machine(), "bcast", "torus-shaddr",
+                           64 * 1024)
+        with pytest.raises(UnsupportedTopologyError):
+            run_collective(leafspine_machine(), "allreduce",
+                           "allreduce-torus-current", 512)
+
+    def test_tree_wire_algorithm_refused_off_torus(self):
+        with pytest.raises(UnsupportedTopologyError):
+            run_collective(fattree_machine(), "bcast", "tree-shaddr",
+                           64 * 1024)
+
+    def test_machine_view_has_no_torus(self):
+        view = MachineView(fattree_machine(), 0, 2)
+        with pytest.raises(UnsupportedTopologyError):
+            view.torus
+
+    def test_ptp_algorithms_run_everywhere(self):
+        for build in (fattree_machine, leafspine_machine):
+            result = run_collective(
+                build(), "allreduce", "allreduce-ring-pipelined", 512,
+                verify=True,
+            )
+            assert result.elapsed_us > 0.0
+
+
+class TestPerNetworkSelection:
+    def test_switched_fabrics_select_ring_schemes(self):
+        assert select_protocol("bcast", 1024 * 1024, 4,
+                               network="fattree") == "ring-pipelined"
+        assert select_protocol("allreduce", 1024, 4,
+                               network="leafspine") == (
+            "allreduce-ring-pipelined"
+        )
+        # Portable families keep the intra-node crossover structure.
+        assert select_protocol("allgather", 4096, 4,
+                               network="fattree") == "allgather-ring-current"
+
+    def test_torus_default_unchanged(self):
+        assert select_protocol("bcast", 1024 * 1024, 4) == "torus-shaddr"
+        assert select_protocol("bcast", 1024 * 1024, 4,
+                               network="torus") == "torus-shaddr"
+
+    def test_unknown_network_is_topology_error_not_keyerror(self):
+        with pytest.raises(UnsupportedTopologyError):
+            select_protocol("bcast", 1024, 4, network="hypercube")
+
+    def test_family_without_candidates_is_topology_error(self, monkeypatch):
+        from repro.collectives import selection
+
+        monkeypatch.setitem(selection.SELECTION_TABLES, "fakenet", {})
+        with pytest.raises(UnsupportedTopologyError):
+            select_protocol("bcast", 1024, 4, network="fakenet")
+        # An unknown family stays a KeyError (lookup typo, not topology).
+        with pytest.raises(KeyError):
+            select_protocol("scan", 1024, 4, network="fattree")
+
+    def test_auto_resolution_respects_the_backend(self):
+        result = run_collective(fattree_machine(), "allreduce", "auto", 512,
+                                verify=True)
+        assert result.algorithm == "allreduce-ring-pipelined"
+        result = run_collective(Machine(torus_dims=(2, 2, 1),
+                                        mode=Mode.QUAD),
+                                "allreduce", "auto", 512, verify=True)
+        assert result.algorithm == "allreduce-tree"
+
+
+class TestChaosOnSwitchedFabrics:
+    def test_linkflap_slows_fattree_traffic(self):
+        healthy = run_collective(fattree_machine(), "bcast",
+                                 "ring-pipelined", 64 * 1024, verify=True)
+        machine = fattree_machine()
+        FaultSchedule([
+            LinkFlap(start=0.0, duration=None, node=0, factor=0.25),
+        ]).install(machine)
+        flapped = run_collective(machine, "bcast", "ring-pipelined",
+                                 64 * 1024, verify=True)
+        assert flapped.elapsed_us > healthy.elapsed_us
+
+    def test_nodeslowdown_slows_leafspine_traffic(self):
+        healthy = run_collective(leafspine_machine(), "allgather",
+                                 "allgather-ring-current", 4096, verify=True)
+        machine = leafspine_machine()
+        FaultSchedule([
+            NodeSlowdown(start=0.0, duration=None, node=1, factor=0.25),
+        ]).install(machine)
+        slowed = run_collective(machine, "allgather",
+                                "allgather-ring-current", 4096, verify=True)
+        assert slowed.elapsed_us > healthy.elapsed_us
+
+    def test_fallback_ladder_unchanged_on_fattree(self):
+        wires = backend_class("fattree").wires
+        assert fallback_chain("allgather", "allgather-ring-shaddr", 4,
+                              wires=wires) == [
+            "allgather-ring-shaddr", "allgather-ring-current",
+        ]
+        # Torus rungs would be filtered off a switched fabric...
+        assert fallback_chain("bcast", "torus-shaddr", 4,
+                              wires=wires) == ["torus-shaddr"]
+        # ...and stay intact on the torus.
+        assert fallback_chain("bcast", "torus-shaddr", 4,
+                              wires=backend_class("torus").wires) == [
+            "torus-shaddr", "torus-fifo", "torus-direct-put",
+        ]
+
+    def test_window_exhaustion_walks_the_ladder_on_fattree(self):
+        factory = _machine_factory((2, 2, 1), Mode.QUAD, "fattree")
+        schedule = FaultSchedule([WindowFault(start=0.0, duration=None)])
+        result = run_resilient_collective(
+            factory, "allgather", "allgather-ring-shaddr", 4096,
+            schedule=schedule, verify=True,
+        )
+        assert result.algorithm == "allgather-ring-current"
+        assert result.fallbacks == ["allgather-ring-shaddr"]
+        assert result.recovery_time > 0.0
+
+
+class TestMachineView:
+    def test_local_rank_space(self):
+        parent = Machine(torus_dims=(2, 2, 2), mode=Mode.QUAD)
+        view = MachineView(parent, 2, 4)
+        assert view.nnodes == 4
+        assert view.nprocs == 16
+        assert view.ppn == parent.ppn
+        assert view.rank_to_node(0) == 0
+        assert view.rank_to_node(view.nprocs - 1) == 3
+        assert view.node_ranks(0) == list(range(parent.ppn))
+        with pytest.raises(ValueError):
+            view.check_rank(view.nprocs)
+
+    def test_nodes_are_parent_slices(self):
+        parent = Machine(torus_dims=(2, 2, 2), mode=Mode.QUAD)
+        view = MachineView(parent, 2, 4)
+        assert view.nodes[0] is parent.nodes[2]
+        assert view.dma[3] is parent.dma[5]
+        assert view.engine is parent.engine
+        assert view.flownet is parent.flownet
+
+    def test_view_network_translates_indices(self):
+        parent = Machine(torus_dims=(2, 2, 2), mode=Mode.QUAD)
+        view = MachineView(parent, 2, 4)
+        net = view.network
+        assert net.nnodes == 4
+        assert net.coords(0) == parent.network.coords(2)
+        assert net.hop_distance(0, 1) == parent.network.hop_distance(2, 3)
+        ring = net.ring_order(torus_colors(1)[0], 1)
+        assert ring[0] == 1 and sorted(ring) == [0, 1, 2, 3]
+
+    def test_bad_slices_rejected(self):
+        parent = Machine(torus_dims=(2, 2, 1), mode=Mode.QUAD)
+        with pytest.raises(ValueError):
+            MachineView(parent, 3, 4)
+        with pytest.raises(ValueError):
+            MachineView(parent, 0, 0)
+
+    def test_collective_on_a_view_verifies(self):
+        parent = Machine(torus_dims=(2, 2, 2), mode=Mode.QUAD)
+        view = MachineView(parent, 3, 4)
+        result = run_collective(view, "allgather", "allgather-ring-current",
+                                1024, verify=True)
+        assert result.nprocs == 16
+        assert result.elapsed_us > 0.0
+
+
+class TestTrafficGenerator:
+    def test_draw_jobs_is_seed_deterministic(self):
+        a = draw_jobs(42, 8, 3)
+        b = draw_jobs(42, 8, 3)
+        assert a == b
+        assert draw_jobs(43, 8, 3) != a
+        menu = {(family, algorithm) for family, algorithm, _ in JOB_MENU}
+        for job in a:
+            assert (job["family"], job["algorithm"]) in menu
+            assert 0 <= job["node_start"]
+            assert job["node_start"] + job["node_count"] <= 8
+
+    def test_multi_job_draws_always_contend(self):
+        for seed in range(6):
+            jobs = draw_jobs(seed, 8, 2)
+            assert overlapping_pairs(jobs), seed
+
+    def test_report_replays_from_the_seed(self):
+        first = run_traffic(seed=5, njobs=2, dims=(2, 2, 1),
+                            network="fattree")
+        again = run_traffic(seed=5, njobs=2, dims=(2, 2, 1),
+                            network="fattree")
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            again, sort_keys=True
+        )
+
+    def test_parallel_equals_serial(self):
+        serial = run_traffic(seed=5, njobs=2, dims=(2, 2, 1),
+                             network="leafspine")
+        parallel = run_traffic(seed=5, njobs=2, dims=(2, 2, 1),
+                               network="leafspine", jobs=2)
+        assert json.dumps(serial, sort_keys=True) == json.dumps(
+            parallel, sort_keys=True
+        )
+
+    def test_contention_slows_overlapping_jobs(self):
+        report = run_traffic(seed=5, njobs=2, dims=(2, 2, 1),
+                             network="fattree")
+        assert report["summary"]["overlapping_pairs"] >= 1
+        assert report["summary"]["max_slowdown"] > 1.0
+        for job in report["jobs"]:
+            assert job["contended_us"] >= job["isolated_us"]
+            assert job["slowdown"] == pytest.approx(
+                job["contended_us"] / job["isolated_us"]
+            )
