@@ -288,6 +288,7 @@ def chaos_campaign(
     verbose: bool = True,
     jobs: Optional[int] = None,
     network: str = "torus",
+    farm: Optional[str] = None,
 ) -> dict:
     """Randomized fault campaigns over every registered campaign algorithm.
 
@@ -300,7 +301,9 @@ def chaos_campaign(
     reseeds its own generator from ``(seed, algorithm index, run)``, so
     the schedule a worker draws is exactly the one the serial loop would
     have drawn: the report (records, fault labels, summary counters) is
-    identical for any job count.
+    identical for any job count.  ``farm`` routes the same points to a
+    sweep-farm work-server instead (:mod:`repro.bench.farm`) with the
+    same byte-identical merge.
     """
     if smoke:
         runs = min(runs, 1)
@@ -339,7 +342,7 @@ def chaos_campaign(
          **({"network": network} if network != "torus" else {})}
         for family, algorithm, x in _ladder_cases(network)
     ]
-    outcomes = execute_points(specs, jobs, task=chaos_point)
+    outcomes = execute_points(specs, jobs, task=chaos_point, farm=farm)
 
     records: List[dict] = []
     ladder: List[dict] = []
@@ -402,6 +405,16 @@ def chaos_campaign(
         },
     }
     if out_path is not None:
+        # Labelled bench entries (e.g. the farm's robustness rollups, see
+        # repro.bench.farm.record_farm_bench_entry) live in the same
+        # document; a campaign rewrite must not drop them.
+        try:
+            with open(out_path) as handle:
+                existing = json.load(handle).get("entries")
+        except (OSError, json.JSONDecodeError):
+            existing = None
+        if existing is not None:
+            report = {**report, "entries": existing}
         with open(out_path, "w") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
         if verbose:

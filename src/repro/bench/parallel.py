@@ -37,6 +37,33 @@ Job-count resolution: an explicit ``jobs`` argument wins, then the
 "one worker per CPU".  Serial mode (``jobs=1``) never touches
 ``multiprocessing`` — it runs the task inline, point by point, exactly
 like the historical drivers.
+
+Hung workers
+------------
+
+A worker process that wedges (deadlocked C extension, runaway point)
+would historically hang ``map`` forever.  A wall-clock chunk timeout —
+``timeout_s`` on the executor or ``map``, or the ``REPRO_CHUNK_TIMEOUT_S``
+environment variable — bounds the wait: when **no chunk completes** for
+that many seconds, every still-outstanding point fails with a
+:class:`PointFailure` (``on_error='return'``) or a
+:class:`WorkerPointError` (``on_error='raise'``; timed-out points are
+*not* re-run serially — that would hang this process too), and the
+wedged pool is terminated.  The default is no timeout, preserving the
+historical behavior.
+
+Beyond one host
+---------------
+
+The same point specs fan across machines through the sweep farm
+(:mod:`repro.bench.farm`): ``execute_points(specs, farm="host:port")`` —
+or the ``REPRO_FARM`` environment variable — submits the specs to a
+work-server and merges the journaled results with the identical
+index-ordered, byte-identical-to-serial guarantee.  The chunking
+(:func:`chunk_specs`), worker-side chunk runner (:func:`_run_chunk`,
+warm-machine cache included), and failure merge
+(:func:`merge_failures`) are shared between the local and farm
+backends.
 """
 
 from __future__ import annotations
@@ -55,6 +82,12 @@ ENV_JOBS = "REPRO_JOBS"
 
 #: environment variable overriding the multiprocessing start method
 ENV_START_METHOD = "REPRO_MP_START"
+
+#: environment variable with the default wall-clock chunk timeout (seconds)
+ENV_CHUNK_TIMEOUT = "REPRO_CHUNK_TIMEOUT_S"
+
+#: environment variable with a default farm server address (host:port)
+ENV_FARM = "REPRO_FARM"
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -77,19 +110,57 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return jobs
 
 
+def resolve_timeout(timeout_s: Optional[float] = None) -> Optional[float]:
+    """Resolve the chunk timeout: argument > ``REPRO_CHUNK_TIMEOUT_S`` > none."""
+    if timeout_s is None:
+        env = os.environ.get(ENV_CHUNK_TIMEOUT, "").strip()
+        if not env:
+            return None
+        try:
+            timeout_s = float(env)
+        except ValueError as exc:
+            raise ValueError(
+                f"{ENV_CHUNK_TIMEOUT} must be a number of seconds, got "
+                f"{env!r}"
+            ) from exc
+    if timeout_s <= 0:
+        raise ValueError(f"timeout_s must be positive, got {timeout_s}")
+    return timeout_s
+
+
 @dataclass
 class PointFailure:
-    """A point whose worker raised (only surfaced with ``on_error='return'``)."""
+    """A point whose worker raised (only surfaced with ``on_error='return'``).
+
+    ``traceback`` is the worker's formatted traceback string — the real
+    failing frame, not just the spec — and ``spec`` (when the caller
+    provided specs) is the point spec that failed, so a campaign report
+    can both name the point and show where it died.
+    """
 
     index: int
     traceback: str
+    spec: Optional[dict] = None
 
     def __bool__(self) -> bool:  # failed points are falsy in result lists
         return False
 
 
 class WorkerPointError(RuntimeError):
-    """Raised when a point fails both in the worker and on serial re-run."""
+    """Raised when a point fails both in the worker and on serial re-run.
+
+    ``worker_traceback`` preserves the original worker-side formatted
+    traceback (local pool worker or remote farm worker) so the failing
+    frame survives even though the exception object itself could not
+    cross the process boundary; ``index`` is the failing point's position
+    in the spec list.
+    """
+
+    def __init__(self, message: str, *, index: Optional[int] = None,
+                 worker_traceback: Optional[str] = None):
+        super().__init__(message)
+        self.index = index
+        self.worker_traceback = worker_traceback
 
 
 # -- worker side ---------------------------------------------------------
@@ -169,7 +240,9 @@ def _run_chunk(task: Callable, chunk: List[Tuple[int, dict]]) -> List[tuple]:
 
     Returns ``(index, "ok", result)`` or ``(index, "error", traceback)``
     per point — an exception never takes down the chunk's siblings or the
-    worker process.
+    worker process.  Shared by the local pool workers and the farm
+    workers (:mod:`repro.bench.farm`), so both get the same crash
+    isolation and the same warm-machine cache via :func:`run_point`.
     """
     out = []
     for index, spec in chunk:
@@ -178,6 +251,72 @@ def _run_chunk(task: Callable, chunk: List[Tuple[int, dict]]) -> List[tuple]:
         except Exception:
             out.append((index, "error", traceback.format_exc()))
     return out
+
+
+# -- shared chunking / merge (local pool and farm backends) --------------
+
+def chunk_specs(specs: Sequence[dict], *, jobs: Optional[int] = None,
+                chunk_size: Optional[int] = None
+                ) -> List[List[Tuple[int, dict]]]:
+    """Split specs into small, dynamically dispatchable (index, spec) chunks.
+
+    Points have wildly uneven costs (the largest message of a sweep
+    dominates), so chunks are kept small — at least ``4 * jobs`` chunks
+    when there are that many points — and handed to whichever worker
+    frees up first, rather than pre-partitioned statically.  An explicit
+    ``chunk_size`` overrides the heuristic (the farm uses it so a
+    campaign has enough chunks to survive worker loss mid-run).
+    """
+    if chunk_size is None:
+        chunk_size = max(1, len(specs) // (max(1, jobs or 1) * 4))
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    indexed = list(enumerate(specs))
+    return [
+        indexed[i:i + chunk_size]
+        for i in range(0, len(indexed), chunk_size)
+    ]
+
+
+def merge_failures(results: List[object],
+                   failures: Sequence[Tuple[int, str, bool]],
+                   specs: Sequence[dict], task: Callable,
+                   on_error: str) -> List[object]:
+    """Fold worker-side failures into an index-ordered result list.
+
+    ``failures`` holds ``(index, worker_traceback, rerunnable)`` triples.
+    ``on_error='return'`` records them as :class:`PointFailure` entries
+    (traceback and spec preserved).  ``on_error='raise'`` re-runs each
+    rerunnable point serially so the real exception propagates with a
+    debugger-usable traceback (the worker's formatted traceback attached
+    both as ``__cause__`` context and as ``worker_traceback``); points
+    marked not-rerunnable — wall-clock timeouts, which would hang this
+    process too — raise :class:`WorkerPointError` directly.  Shared by
+    :meth:`ParallelExecutor.map` and the farm driver, so local and
+    distributed failures surface identically.
+    """
+    for index, worker_tb, rerunnable in sorted(failures):
+        if on_error == "return":
+            results[index] = PointFailure(index, worker_tb, spec=specs[index])
+            continue
+        if not rerunnable:
+            raise WorkerPointError(
+                f"point {index} timed out in a worker (not re-run serially "
+                f"— it would hang this process too); worker traceback:\n"
+                f"{worker_tb}",
+                index=index, worker_traceback=worker_tb,
+            )
+        # Serial re-run: reproduces the failure with a real traceback
+        # (or recovers the point if the failure does not reproduce).
+        try:
+            results[index] = task(specs[index])
+        except Exception as exc:
+            raise WorkerPointError(
+                f"point {index} failed in a worker and again on serial "
+                f"re-run; worker traceback:\n{worker_tb}",
+                index=index, worker_traceback=worker_tb,
+            ) from exc
+    return results
 
 
 # -- parent side ---------------------------------------------------------
@@ -198,12 +337,14 @@ class ParallelExecutor:
 
     def __init__(self, jobs: Optional[int] = None, *,
                  start_method: Optional[str] = None,
-                 chunk_size: Optional[int] = None):
+                 chunk_size: Optional[int] = None,
+                 timeout_s: Optional[float] = None):
         self.jobs = resolve_jobs(jobs)
         self.start_method = (
             start_method or os.environ.get(ENV_START_METHOD) or None
         )
         self.chunk_size = chunk_size
+        self.timeout_s = resolve_timeout(timeout_s)
         self._pool: Optional[ProcessPoolExecutor] = None
 
     # -- lifecycle -------------------------------------------------------
@@ -225,6 +366,24 @@ class ParallelExecutor:
             self._pool.shutdown(wait=True)
             self._pool = None
 
+    def _terminate_pool(self) -> None:
+        """Tear down a pool whose workers may be wedged (timeout path).
+
+        ``ProcessPoolExecutor.shutdown`` only waits politely; a hung
+        worker never exits, so its process is terminated outright.  The
+        executor stays usable — the next ``map`` builds a fresh pool.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        processes = list(getattr(pool, "_processes", {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        for process in processes:
+            process.join(timeout=5.0)
+
     def __enter__(self) -> "ParallelExecutor":
         return self
 
@@ -233,64 +392,72 @@ class ParallelExecutor:
 
     # -- scheduling ------------------------------------------------------
     def _chunks(self, specs: Sequence[dict]) -> List[List[Tuple[int, dict]]]:
-        """Chunked scheduling: small chunks, dynamically dispatched.
-
-        Points have wildly uneven costs (the largest message of a sweep
-        dominates), so chunks are kept small — at least ``4 * jobs``
-        chunks when there are that many points — and handed to whichever
-        worker frees up first, rather than pre-partitioned statically.
-        """
-        size = self.chunk_size
-        if size is None:
-            size = max(1, len(specs) // (self.jobs * 4))
-        indexed = list(enumerate(specs))
-        return [indexed[i:i + size] for i in range(0, len(indexed), size)]
+        """Chunked scheduling (see :func:`chunk_specs`)."""
+        return chunk_specs(specs, jobs=self.jobs, chunk_size=self.chunk_size)
 
     def map(self, task: Callable[[dict], object], specs: Sequence[dict],
-            *, on_error: str = "raise") -> List[object]:
+            *, on_error: str = "raise",
+            timeout_s: Optional[float] = None) -> List[object]:
         """Run ``task`` over ``specs``; results ordered by spec index.
 
         ``on_error='raise'``: a point that failed in its worker is re-run
         serially in this process *after* the surviving points complete, so
         the underlying exception propagates with a real traceback (the
-        worker's formatted traceback attached as ``__cause__``).
-        ``on_error='return'``: failed points come back as
-        :class:`PointFailure` entries instead (falsy, so
+        worker's formatted traceback attached as ``__cause__`` and as
+        ``worker_traceback``).  ``on_error='return'``: failed points come
+        back as :class:`PointFailure` entries instead (falsy, so
         ``filter(None, ...)`` drops them).
+
+        ``timeout_s`` (argument > executor default > the
+        ``REPRO_CHUNK_TIMEOUT_S`` env var) bounds the wall-clock wait for
+        chunk progress: when no chunk completes within the window, every
+        still-outstanding point fails as a timeout and the wedged pool is
+        terminated instead of hanging the whole sweep forever.  Timed-out
+        points are never re-run serially (a hung point would hang this
+        process too): with ``on_error='raise'`` they raise
+        :class:`WorkerPointError` directly.
         """
         if on_error not in ("raise", "return"):
             raise ValueError(f"on_error must be raise|return, got {on_error!r}")
         if self.jobs <= 1 or len(specs) <= 1:
             return self._map_serial(task, specs, on_error)
+        timeout = resolve_timeout(timeout_s) if timeout_s is not None \
+            else self.timeout_s
         pool = self._ensure_pool()
         results: List[object] = [None] * len(specs)
-        failures: List[Tuple[int, str]] = []
-        pending = {
-            pool.submit(_run_chunk, task, chunk)
+        failures: List[Tuple[int, str, bool]] = []
+        chunk_of = {
+            pool.submit(_run_chunk, task, chunk): chunk
             for chunk in self._chunks(specs)
         }
+        pending = set(chunk_of)
         while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            done, pending = wait(
+                pending, timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                # No chunk finished within the window: the pool is wedged.
+                # Fail every outstanding point and put the pool down.
+                for future in pending:
+                    future.cancel()
+                    for index, spec in chunk_of[future]:
+                        failures.append((
+                            index,
+                            f"PointTimeout: no chunk completed within "
+                            f"{timeout:g}s wall-clock; point {index} "
+                            f"({spec!r}) was still outstanding when the "
+                            f"pool was terminated",
+                            False,
+                        ))
+                self._terminate_pool()
+                break
             for future in done:
                 for index, status, value in future.result():
                     if status == "ok":
                         results[index] = value
                     else:
-                        failures.append((index, value))
-        for index, worker_tb in sorted(failures):
-            if on_error == "return":
-                results[index] = PointFailure(index, worker_tb)
-                continue
-            # Serial re-run: reproduces the failure with a real traceback
-            # (or recovers the point if the failure does not reproduce).
-            try:
-                results[index] = task(specs[index])
-            except Exception as exc:
-                raise WorkerPointError(
-                    f"point {index} failed in a worker and again on serial "
-                    f"re-run; worker traceback:\n{worker_tb}"
-                ) from exc
-        return results
+                        failures.append((index, value, True))
+        return merge_failures(results, failures, specs, task, on_error)
 
     def _map_serial(self, task, specs, on_error) -> List[object]:
         results: List[object] = []
@@ -299,7 +466,9 @@ class ParallelExecutor:
                 try:
                     results.append(task(spec))
                 except Exception:
-                    results.append(PointFailure(index, traceback.format_exc()))
+                    results.append(PointFailure(
+                        index, traceback.format_exc(), spec=spec,
+                    ))
             else:
                 results.append(task(spec))
         return results
@@ -307,17 +476,32 @@ class ParallelExecutor:
 
 def execute_points(specs: Sequence[dict], jobs: Optional[int] = None,
                    *, task: Callable[[dict], object] = run_point,
-                   on_error: str = "raise") -> List[object]:
+                   on_error: str = "raise",
+                   farm: Optional[str] = None,
+                   timeout_s: Optional[float] = None) -> List[object]:
     """One-shot convenience: map ``task`` over ``specs`` with ``jobs`` workers.
 
     Serial (``jobs=1``) runs inline with **fresh machines per point** —
     exactly the historical driver behavior; parallel workers use the
     warm-machine cache (bit-identical, see module docstring).
+
+    ``farm`` (argument > the ``REPRO_FARM`` env var) routes the specs to
+    a sweep-farm work-server instead of local processes: same tasks,
+    same chunking, same index-ordered merge — see
+    :mod:`repro.bench.farm`.
     """
+    if farm is None:
+        farm = os.environ.get(ENV_FARM, "").strip() or None
+    if farm:
+        from repro.bench.farm import farm_execute_points
+
+        return farm_execute_points(
+            specs, farm=farm, task=task, on_error=on_error, jobs=jobs,
+        )
     resolved = resolve_jobs(jobs)
     if resolved <= 1 or len(specs) <= 1:
         if task in (run_point, run_point_timed):
             specs = [{**spec, "fresh_machine": True} for spec in specs]
         return ParallelExecutor(1).map(task, specs, on_error=on_error)
-    with ParallelExecutor(resolved) as executor:
+    with ParallelExecutor(resolved, timeout_s=timeout_s) as executor:
         return executor.map(task, specs, on_error=on_error)

@@ -171,11 +171,12 @@ def _sweep_record(spec: dict, timed_points: List[tuple]) -> dict:
 
 def run_sweep_timed(spec: dict, steady_state: Optional[bool] = None,
                     jobs: Optional[int] = None,
-                    analytic: bool = False) -> dict:
+                    analytic: bool = False,
+                    farm: Optional[str] = None) -> dict:
     """Run one sweep; returns wall-clock and simulated-time records."""
     timed = execute_points(
         _point_specs(spec, steady_state, analytic), jobs,
-        task=run_point_timed,
+        task=run_point_timed, farm=farm,
     )
     return _sweep_record(spec, timed)
 
@@ -183,6 +184,7 @@ def run_sweep_timed(spec: dict, steady_state: Optional[bool] = None,
 def run_suite(
     smoke: bool = False, steady_state: Optional[bool] = None,
     jobs: Optional[int] = None, analytic: bool = False,
+    farm: Optional[str] = None,
 ) -> Dict[str, dict]:
     """Run every sweep of the suite; returns ``{sweep_name: record}``.
 
@@ -205,7 +207,7 @@ def run_suite(
         points = _point_specs(spec, steady_state, analytic)
         slices[name] = (len(all_specs), len(points))
         all_specs.extend(points)
-    timed = execute_points(all_specs, jobs, task=run_point_timed)
+    timed = execute_points(all_specs, jobs, task=run_point_timed, farm=farm)
     out: Dict[str, dict] = {}
     for name, spec in sweeps.items():
         offset, count = slices[name]
@@ -349,12 +351,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="worker processes for the point grid (default: REPRO_JOBS or "
              "serial; 0 = one per CPU)",
     )
+    parser.add_argument(
+        "--farm", default=None, metavar="HOST:PORT",
+        help="route the point grid to a sweep-farm work-server (see "
+             "repro farm serve); results stay byte-identical to serial",
+    )
     args = parser.parse_args(argv)
     if args.slow:
         os.environ["REPRO_SIM_SLOWPATH"] = "1"
     steady = False if args.no_steady else None
     sweeps = run_suite(smoke=args.smoke, steady_state=steady, jobs=args.jobs,
-                       analytic=args.analytic)
+                       analytic=args.analytic, farm=args.farm)
     meta = sweeps.get("__meta__", {})
     if meta:
         print(

@@ -103,13 +103,16 @@ def _validate_config(config: dict) -> None:
         raise ValueError("algorithms and sizes must be non-empty")
 
 
-def run_sweep(config: dict, jobs: Optional[int] = None) -> SweepResult:
+def run_sweep(config: dict, jobs: Optional[int] = None,
+              farm: Optional[str] = None) -> SweepResult:
     """Execute the sweep described by ``config``.
 
     ``jobs`` fans the (algorithm, x) grid across that many worker
     processes (``None``: the ``REPRO_JOBS`` environment variable, else
     serial).  Results are merged in grid order, so the returned
-    :class:`SweepResult` is identical whatever the job count.
+    :class:`SweepResult` is identical whatever the job count.  ``farm``
+    routes the grid to a sweep-farm work-server instead
+    (:mod:`repro.bench.farm`) with the same deterministic merge.
 
     ``"analytic": true`` in the config opts every point into the
     closed-form steady-state fast path (:mod:`repro.sim.analytic`);
@@ -142,7 +145,7 @@ def run_sweep(config: dict, jobs: Optional[int] = None) -> SweepResult:
         for algorithm in config["algorithms"]
         for x in x_values
     ]
-    measured = execute_points(specs, jobs)
+    measured = execute_points(specs, jobs, farm=farm)
     for start, algorithm in zip(
         range(0, len(specs), len(x_values)), config["algorithms"]
     ):
@@ -152,7 +155,8 @@ def run_sweep(config: dict, jobs: Optional[int] = None) -> SweepResult:
     return result
 
 
-def run_sweep_file(path: str, jobs: Optional[int] = None) -> SweepResult:
+def run_sweep_file(path: str, jobs: Optional[int] = None,
+                   farm: Optional[str] = None) -> SweepResult:
     """Execute a sweep from a JSON config file."""
     with open(path) as handle:
-        return run_sweep(json.load(handle), jobs=jobs)
+        return run_sweep(json.load(handle), jobs=jobs, farm=farm)

@@ -25,6 +25,13 @@ Commands
 ``traffic``
     Run a seeded multi-tenant workload (overlapping collective jobs on
     one machine) and report per-job elapsed plus cross-job slowdown.
+``farm``
+    The distributed sweep farm (``docs/robustness.md``): ``farm serve``
+    hosts the leased work-server with its crash-resumable progress
+    journal (``--resume`` continues an interrupted campaign), ``farm
+    work`` runs a pull-worker against it, ``farm status`` prints
+    campaign progress and robustness rollups (``--bench`` records them
+    as a labelled ``BENCH_robustness.json`` entry).
 ``params``
     Dump the calibrated model constants.
 
@@ -36,7 +43,10 @@ algorithm listing to that backend.
 ``figure``, ``chaos`` and ``sweep`` accept ``--jobs N`` (or the
 ``REPRO_JOBS`` env var) to fan their independent simulation points across
 worker processes; output is merged deterministically and is identical to
-a serial run (see ``docs/performance.md``).
+a serial run (see ``docs/performance.md``).  ``chaos`` and ``sweep`` also
+accept ``--farm HOST:PORT`` (or the ``REPRO_FARM`` env var) to route the
+same points through a sweep-farm work-server instead — same merge, same
+bytes.
 
 Examples
 --------
@@ -101,6 +111,15 @@ def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
         help="worker processes for independent points (default: the "
              "REPRO_JOBS env var, else serial; 0 = one per CPU); results "
              "are merged deterministically, identical to serial",
+    )
+
+
+def _add_farm_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--farm", default=None, metavar="HOST:PORT",
+        help="route the points to a sweep-farm work-server (default: the "
+             "REPRO_FARM env var, else local execution); see "
+             "'repro farm serve' and docs/robustness.md",
     )
 
 
@@ -264,6 +283,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="robustness report path (default BENCH_robustness.json)",
     )
     _add_jobs_arg(p)
+    _add_farm_arg(p)
 
     p = sub.add_parser(
         "traffic",
@@ -389,6 +409,89 @@ def build_parser() -> argparse.ArgumentParser:
         "--metric", default="bandwidth", choices=["bandwidth", "elapsed"]
     )
     _add_jobs_arg(p)
+    _add_farm_arg(p)
+
+    p = sub.add_parser(
+        "farm",
+        help="distributed sweep farm: leased work-server + pull-workers",
+    )
+    farm_sub = p.add_subparsers(dest="farm_command", required=True)
+
+    fp = farm_sub.add_parser(
+        "serve", help="host the work-server with its progress journal"
+    )
+    fp.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1; use 0.0.0.0 to accept "
+             "workers from other hosts)",
+    )
+    fp.add_argument(
+        "--port", type=int, default=8765,
+        help="port to bind (default 8765; 0 = ephemeral, printed on start)",
+    )
+    fp.add_argument(
+        "--journal", default="farm_journal.jsonl",
+        help="append-only progress journal path "
+             "(default farm_journal.jsonl)",
+    )
+    fp.add_argument(
+        "--resume", action="store_true",
+        help="reload an interrupted campaign from the journal: journaled "
+             "points are never re-run (required when the journal is "
+             "non-empty)",
+    )
+    fp.add_argument(
+        "--lease-s", type=float, default=None, metavar="SECONDS",
+        help="lease deadline: a chunk not heartbeated for this long is "
+             "re-queued (default 30)",
+    )
+    fp.add_argument(
+        "--chunk", type=int, default=None, metavar="POINTS",
+        help="points per leased chunk (default: campaign size / 16, "
+             "min 1)",
+    )
+    fp.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-lease progress lines on stderr",
+    )
+
+    fp = farm_sub.add_parser(
+        "work", help="run a pull-worker against a work-server"
+    )
+    fp.add_argument("server", metavar="HOST:PORT",
+                    help="work-server address")
+    fp.add_argument(
+        "--id", dest="worker_id", default=None,
+        help="worker id shown in leases (default: host-pid-random)",
+    )
+    fp.add_argument(
+        "--stay", action="store_true",
+        help="keep polling after the campaign completes (a pool worker "
+             "awaiting the next campaign) instead of exiting",
+    )
+    fp.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-chunk progress lines on stderr",
+    )
+
+    fp = farm_sub.add_parser(
+        "status", help="print campaign progress and robustness rollups"
+    )
+    fp.add_argument("server", metavar="HOST:PORT",
+                    help="work-server address")
+    fp.add_argument(
+        "--bench", default=None, metavar="BENCH_JSON",
+        help="also record the farm's robustness rollups as a labelled "
+             "entry in this BENCH_robustness.json (see --label)",
+    )
+    fp.add_argument(
+        "--label", default="farm-smoke",
+        help="entry label for --bench (default farm-smoke)",
+    )
+    fp.add_argument(
+        "--json", action="store_true",
+        help="print the raw status payload as JSON instead of the summary",
+    )
 
     sub.add_parser("params", help="dump the calibrated model constants")
     return parser
@@ -556,7 +659,7 @@ def _cmd_chaos(args) -> int:
     report = chaos_campaign(
         seed=args.seed, runs=args.runs, dims=args.dims,
         smoke=args.smoke, out_path=args.out, jobs=args.jobs,
-        network=args.network,
+        network=args.network, farm=args.farm,
     )
     summary = report["summary"]
     print(
@@ -661,7 +764,7 @@ def _cmd_trace(args) -> int:
 def _cmd_sweep(args) -> int:
     from repro.bench.sweep import run_sweep_file
 
-    result = run_sweep_file(args.config, jobs=args.jobs)
+    result = run_sweep_file(args.config, jobs=args.jobs, farm=args.farm)
     metric = "bandwidth" if args.metric == "bandwidth" else "elapsed_us"
     print(f"== {result.name} ({result.kind}) ==")
     print(result.table(metric))
@@ -694,6 +797,63 @@ def _cmd_traffic(args) -> int:
     return 0
 
 
+def _cmd_farm(args) -> int:
+    from repro.bench import farm as farm_mod
+
+    try:
+        return _cmd_farm_inner(args, farm_mod)
+    except farm_mod.FarmError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_farm_inner(args, farm_mod) -> int:
+    if args.farm_command == "serve":
+        server = farm_mod.FarmServer(
+            host=args.host, port=args.port,
+            journal_path=args.journal,
+            lease_s=(args.lease_s if args.lease_s is not None
+                     else farm_mod.DEFAULT_LEASE_S),
+            chunk_size=args.chunk,
+            resume=args.resume,
+            verbose=not args.quiet,
+        )
+        server.start()
+        print(f"farm server on {server.address} "
+              f"(journal {args.journal})", flush=True)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.stop()
+        return 0
+    if args.farm_command == "work":
+        worker = farm_mod.FarmWorker(
+            args.server, worker_id=args.worker_id,
+            exit_when_done=not args.stay, verbose=not args.quiet,
+        )
+        try:
+            chunks = worker.run()
+        except KeyboardInterrupt:
+            return 0
+        print(f"{worker.worker_id}: {chunks} chunk(s), "
+              f"{worker.points_computed} point(s) computed")
+        return 0
+    # status
+    status = farm_mod.rpc_retry(args.server, "status")
+    if args.json:
+        import json
+
+        print(json.dumps(status, indent=2, sort_keys=True))
+    else:
+        print(farm_mod.format_status(status))
+    if args.bench:
+        farm_mod.record_farm_bench_entry(args.bench, args.label, status)
+        print(f"BENCH entry {args.label!r} written to {args.bench}")
+    return 0
+
+
 def _cmd_params(_args) -> int:
     params = BGPParams()
     for field in dataclasses.fields(params):
@@ -713,6 +873,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "sweep": _cmd_sweep,
     "traffic": _cmd_traffic,
+    "farm": _cmd_farm,
     "params": _cmd_params,
 }
 

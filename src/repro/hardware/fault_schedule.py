@@ -48,12 +48,19 @@ _NEVER_US = 1e12
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Timeout/retry budget for faultable protocol operations.
+    """Timeout/retry budget for faultable operations.
 
     An operation that hits a transient fault is retried up to
     ``max_attempts`` times total; retry *k* (1-based) first waits
     ``base_backoff_us * backoff_factor**(k-1)`` microseconds, capped at
     ``max_backoff_us`` — classic bounded exponential backoff.
+
+    The policy is pure arithmetic over its fields, so it serves two
+    clock domains: the simulator's protocol retries (microseconds of
+    engine time, via :meth:`backoff_us`) and the sweep farm's wall-clock
+    retries — chunk re-queues after lease expiry, worker/driver
+    reconnects across a server restart — via :meth:`backoff_s`
+    (:mod:`repro.bench.farm`).
     """
 
     max_attempts: int = 5
@@ -67,6 +74,10 @@ class RetryPolicy:
             raise ValueError(f"attempt must be >= 1, got {attempt}")
         delay = self.base_backoff_us * self.backoff_factor ** (attempt - 1)
         return min(delay, self.max_backoff_us)
+
+    def backoff_s(self, attempt: int) -> float:
+        """:meth:`backoff_us` in seconds, for wall-clock (non-simulator) use."""
+        return self.backoff_us(attempt) / 1e6
 
 
 @dataclass(frozen=True)

@@ -5,6 +5,7 @@ See ``docs/observability.md`` for the design and role taxonomy.
 
 from repro.telemetry.manifest import (
     DEFAULT_TOLERANCE,
+    CampaignManifest,
     RunManifest,
     bench_entry_solver,
     compare_bench,
@@ -13,6 +14,7 @@ from repro.telemetry.manifest import (
     git_revision,
     load_baseline,
     save_baseline,
+    spec_fingerprint,
 )
 from repro.telemetry.recorder import (
     ROLE_COPIER,
@@ -28,6 +30,7 @@ from repro.telemetry.recorder import (
 from repro.telemetry.report import format_report
 
 __all__ = [
+    "CampaignManifest",
     "DEFAULT_TOLERANCE",
     "ROLE_COPIER",
     "ROLE_DMA_WAIT",
@@ -47,4 +50,5 @@ __all__ = [
     "load_baseline",
     "reduce_core_role",
     "save_baseline",
+    "spec_fingerprint",
 ]

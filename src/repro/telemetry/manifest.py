@@ -20,8 +20,10 @@ wall-clock, so baselines are portable across hosts.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import subprocess
+import time
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -111,6 +113,60 @@ class RunManifest:
         clone = RunManifest(**{**asdict(self), "dims": self.dims})
         clone.git_rev = git_revision()
         return clone
+
+
+# -- campaign manifests (sweep farm) -------------------------------------
+
+def spec_fingerprint(task: str, specs: Sequence[dict]) -> str:
+    """A stable digest of a campaign: the task name plus every point spec.
+
+    Canonical JSON (sorted keys, no whitespace; tuples serialize as
+    lists) hashed with SHA-256, truncated to 16 hex chars.  Two
+    campaigns share a fingerprint iff a worker would compute the same
+    points — which is exactly the key the farm's progress journal needs
+    to decide whether journaled completions belong to a submitted
+    campaign.
+    """
+    canonical = json.dumps(
+        [task, list(specs)], sort_keys=True, separators=(",", ":"),
+        default=str,
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+@dataclass
+class CampaignManifest:
+    """Identity of one sweep-farm campaign: what would run, under what code.
+
+    The farm's progress journal is keyed by this manifest — a resumed
+    server only reuses journaled completions whose campaign fingerprint
+    matches, and a ``git_rev`` mismatch between the journal and the
+    resuming server is surfaced as a warning (results recorded by
+    different code may not be byte-identical).
+    """
+
+    task: str
+    nspecs: int
+    spec_hash: str
+    git_rev: str = "unknown"
+    created_at: str = ""
+
+    @classmethod
+    def build(cls, task: str, specs: Sequence[dict]) -> "CampaignManifest":
+        return cls(
+            task=task,
+            nspecs=len(specs),
+            spec_hash=spec_fingerprint(task, specs),
+            git_rev=git_revision(),
+            created_at=time.strftime("%Y-%m-%d %H:%M:%S"),
+        )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignManifest":
+        return cls(**data)
 
 
 # -- baseline files ------------------------------------------------------

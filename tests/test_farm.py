@@ -1,0 +1,598 @@
+"""The fault-tolerant distributed sweep farm (``repro.bench.farm``).
+
+The invariants under test mirror ``docs/robustness.md``:
+
+* **byte-identical merge** — a campaign fanned across farm workers
+  merges to exactly the local executor's output, simulation results
+  included;
+* **leases, retries, quarantine** — an abandoned lease expires and its
+  chunk is re-queued under the bounded-backoff retry budget; a chunk
+  that keeps failing is quarantined instead of wedging the campaign;
+  duplicate completions are detected and discarded;
+* **crash-resumable campaigns** — the fsynced journal survives server
+  kills (including torn trailing writes), ``resume`` never re-runs a
+  journaled point, and a seeded storm of worker kills / duplicates /
+  journal truncation still converges to the serial answer.
+
+Everything runs in-process: the server listens on an ephemeral local
+port and the workers are threads, so "killing" a worker is abandoning
+its lease and "killing" the server is stopping it mid-campaign.
+"""
+
+import base64
+import hashlib
+import json
+import pickle
+import random
+import threading
+import time
+
+import pytest
+
+from repro.bench.farm import (
+    DEFAULT_LEASE_S,
+    FarmError,
+    FarmServer,
+    FarmUnreachableError,
+    FarmWorker,
+    JournalState,
+    ProgressJournal,
+    farm_execute_points,
+    farm_rollups,
+    parse_address,
+    record_farm_bench_entry,
+    register_task,
+    resolve_task,
+    rpc,
+    rpc_retry,
+    task_name,
+)
+from repro.bench.parallel import PointFailure, WorkerPointError, execute_points
+from repro.hardware.fault_schedule import RetryPolicy
+from repro.telemetry.manifest import CampaignManifest, spec_fingerprint
+
+#: near-zero backoffs so retry paths run at test speed
+FAST_RETRY = RetryPolicy(max_attempts=3, base_backoff_us=1e3,
+                         backoff_factor=2.0, max_backoff_us=1e4)
+FAST_RECONNECT = RetryPolicy(max_attempts=2, base_backoff_us=1e3,
+                             backoff_factor=2.0, max_backoff_us=1e4)
+
+
+# -- farm tasks (registered in-process; workers here are threads) --------
+
+_RUN_LOG = []
+
+
+def _square(spec):
+    return spec["x"] ** 2
+
+
+def _square_logged(spec):
+    _RUN_LOG.append(spec["x"])
+    return spec["x"] ** 2
+
+
+def _always_fails(spec):
+    raise ValueError(f"poison point {spec['x']}")
+
+
+def _fails_on_seven(spec):
+    if spec["x"] == 7:
+        raise ValueError("unlucky point 7")
+    return spec["x"] ** 2
+
+
+register_task("square", _square)
+register_task("square_logged", _square_logged)
+register_task("always_fails", _always_fails)
+register_task("fails_on_seven", _fails_on_seven)
+
+
+def _specs(n):
+    return [{"x": x} for x in range(n)]
+
+
+def _server(tmp_path, **kwargs):
+    kwargs.setdefault("journal_path", str(tmp_path / "journal.jsonl"))
+    kwargs.setdefault("chunk_retry", FAST_RETRY)
+    server = FarmServer(port=0, **kwargs)
+    server.start()
+    return server
+
+
+def _worker_thread(address, **kwargs):
+    worker = FarmWorker(address, reconnect=FAST_RECONNECT, **kwargs)
+    thread = threading.Thread(target=worker.run, daemon=True)
+    thread.start()
+    return worker, thread
+
+
+def _submit(server, specs, task="square", chunk_size=1):
+    manifest = CampaignManifest.build(task, specs)
+    return rpc(server.address, "submit", manifest=manifest.to_dict(),
+               specs=specs, task=task, chunk_size=chunk_size)
+
+
+# -- protocol plumbing ---------------------------------------------------
+
+class TestPlumbing:
+    def test_parse_address(self):
+        assert parse_address("10.0.0.5:9000") == ("10.0.0.5", 9000)
+        assert parse_address(":9000") == ("127.0.0.1", 9000)
+        assert parse_address("9000") == ("127.0.0.1", 9000)
+        with pytest.raises(FarmError, match="host:port"):
+            parse_address("nonsense")
+
+    def test_task_registry_round_trip(self):
+        assert resolve_task("square") is _square
+        assert task_name(_square) == "square"
+        assert resolve_task("run_point").__name__ == "run_point"
+        with pytest.raises(FarmError, match="unknown farm task"):
+            resolve_task("rm_rf_slash")
+        with pytest.raises(FarmError, match="not farm-registered"):
+            task_name(lambda spec: spec)
+
+    def test_unknown_op_and_unknown_task_are_refused(self, tmp_path):
+        with _server(tmp_path) as server:
+            with pytest.raises(FarmError, match="unknown op"):
+                rpc(server.address, "exec_shell")
+            manifest = CampaignManifest.build("nope", [])
+            with pytest.raises(FarmError, match="unknown farm task"):
+                rpc(server.address, "submit", manifest=manifest.to_dict(),
+                    specs=[], task="nope", chunk_size=1)
+
+    def test_rpc_retry_exhausts_into_unreachable(self):
+        with pytest.raises(FarmUnreachableError, match="unreachable"):
+            rpc_retry("127.0.0.1:9", "status", policy=FAST_RECONNECT)
+
+
+# -- campaign manifests --------------------------------------------------
+
+class TestCampaignManifest:
+    def test_fingerprint_is_stable_and_spec_sensitive(self):
+        specs = [{"x": 1, "dims": (2, 2, 2)}, {"x": 2, "dims": (2, 2, 2)}]
+        again = [{"dims": (2, 2, 2), "x": 1}, {"dims": (2, 2, 2), "x": 2}]
+        assert spec_fingerprint("square", specs) == \
+            spec_fingerprint("square", again)  # key order is canonical
+        assert spec_fingerprint("square", specs) != \
+            spec_fingerprint("square", specs[::-1])  # order is identity
+        assert spec_fingerprint("square", specs) != \
+            spec_fingerprint("cube", specs)  # task is identity
+
+    def test_round_trip(self):
+        manifest = CampaignManifest.build("square", _specs(3))
+        clone = CampaignManifest.from_dict(manifest.to_dict())
+        assert clone == manifest
+        assert manifest.nspecs == 3
+
+    def test_server_refuses_a_second_campaign(self, tmp_path):
+        with _server(tmp_path) as server:
+            first = _submit(server, _specs(4))
+            assert first == {"campaign": first["campaign"],
+                             "attached": False, "total": 4, "completed": 0}
+            # Same campaign attaches idempotently ...
+            assert _submit(server, _specs(4))["attached"] is True
+            # ... a different one is refused (one campaign per journal).
+            with pytest.raises(FarmError, match="refuse to mix"):
+                _submit(server, _specs(5))
+
+
+# -- the happy path ------------------------------------------------------
+
+class TestFarmExecution:
+    def test_two_workers_merge_identical_to_local(self, tmp_path):
+        specs = _specs(11)
+        with _server(tmp_path, chunk_size=2) as server:
+            for i in range(2):
+                _worker_thread(server.address, worker_id=f"w{i}")
+            out = farm_execute_points(specs, farm=server.address,
+                                      task=_square, poll_s=0.05)
+            status = rpc(server.address, "status")
+        assert out == execute_points(specs, jobs=1, task=_square)
+        assert status["done"] is True
+        assert status["stats"]["points_completed"] == 11
+        assert status["stats"]["workers_lost"] == 0
+
+    def test_simulation_points_are_byte_identical_to_serial(self, tmp_path):
+        specs = [
+            {"family": "bcast", "algorithm": "tree-shaddr", "x": x,
+             "dims": (2, 2, 1), "mode": "QUAD", "iters": 1}
+            for x in (2048, 4096, 8192)
+        ]
+        serial = execute_points(specs, jobs=1)
+        with _server(tmp_path, chunk_size=1) as server:
+            _worker_thread(server.address, worker_id="sim")
+            farmed = farm_execute_points(specs, farm=server.address,
+                                         poll_s=0.05)
+        for mine, theirs in zip(farmed, serial):
+            assert pickle.dumps(mine, protocol=4) == \
+                pickle.dumps(theirs, protocol=4)
+
+    def test_env_routing_reaches_the_farm(self, tmp_path, monkeypatch):
+        specs = _specs(4)
+        with _server(tmp_path, chunk_size=2) as server:
+            _worker_thread(server.address, worker_id="env")
+            monkeypatch.setenv("REPRO_FARM", server.address)
+            monkeypatch.setenv("REPRO_FARM_CHUNK", "2")
+            out = execute_points(specs, task=_square)
+        assert out == [0, 1, 4, 9]
+
+    def test_on_error_return_yields_point_failures(self, tmp_path):
+        with _server(tmp_path, chunk_size=1) as server:
+            _worker_thread(server.address, worker_id="w")
+            out = farm_execute_points(
+                _specs(9), farm=server.address, task=_fails_on_seven,
+                on_error="return", poll_s=0.05,
+            )
+        assert out[:7] == [x ** 2 for x in range(7)]
+        assert isinstance(out[7], PointFailure)
+        assert out[7].spec == {"x": 7}
+        assert "unlucky point 7" in out[7].traceback
+        assert out[8] == 64
+
+    def test_on_error_raise_reruns_serially_with_worker_traceback(
+            self, tmp_path):
+        with _server(tmp_path, chunk_size=1) as server:
+            _worker_thread(server.address, worker_id="w")
+            with pytest.raises(WorkerPointError) as excinfo:
+                farm_execute_points(
+                    [{"x": 7}, {"x": 2}], farm=server.address,
+                    task=_fails_on_seven, poll_s=0.05,
+                )
+        assert isinstance(excinfo.value.__cause__, ValueError)
+        assert "unlucky point 7" in excinfo.value.worker_traceback
+
+
+# -- leases, retries, quarantine -----------------------------------------
+
+class TestLeases:
+    def test_expired_lease_is_requeued_and_worker_counted_lost(
+            self, tmp_path):
+        with _server(tmp_path, lease_s=0.15, chunk_size=4) as server:
+            _submit(server, _specs(4), chunk_size=4)
+            grant = rpc(server.address, "lease", worker="doomed")
+            assert grant["chunk"] == 0 and len(grant["points"]) == 4
+            # Abandon the lease; the next lease request reaps it and
+            # (after the backoff) re-grants the same chunk.
+            deadline = time.monotonic() + 10.0
+            while True:
+                regrant = rpc(server.address, "lease", worker="heir")
+                if "chunk" in regrant:
+                    break
+                assert time.monotonic() < deadline
+                time.sleep(min(regrant["wait"], 0.05))
+            assert regrant["chunk"] == 0
+            status = rpc(server.address, "status")
+        assert status["stats"]["leases_expired"] == 1
+        assert status["stats"]["chunks_retried"] == 1
+        assert status["stats"]["workers_lost"] == 1
+        assert status["leased"][0]["worker"] == "heir"
+
+    def test_heartbeat_keeps_a_lease_alive(self, tmp_path):
+        with _server(tmp_path, lease_s=0.3, chunk_size=2) as server:
+            _submit(server, _specs(2), chunk_size=2)
+            grant = rpc(server.address, "lease", worker="beater")
+            for _ in range(4):
+                time.sleep(0.15)
+                beat = rpc(server.address, "heartbeat", worker="beater",
+                           chunk=grant["chunk"])
+                assert beat["ok"] is True
+            status = rpc(server.address, "status")
+            assert status["stats"]["leases_expired"] == 0
+            # A stale heartbeat (wrong worker) is refused.
+            assert rpc(server.address, "heartbeat", worker="imposter",
+                       chunk=grant["chunk"])["ok"] is False
+
+    def test_poison_chunk_is_quarantined_after_retry_budget(self, tmp_path):
+        with _server(tmp_path, chunk_size=1) as server:
+            _worker_thread(server.address, worker_id="w")
+            out = farm_execute_points(
+                [{"x": 1}, {"x": 2}], farm=server.address,
+                task=_always_fails, on_error="return", poll_s=0.05,
+            )
+            status = rpc(server.address, "status")
+        assert all(isinstance(p, PointFailure) for p in out)
+        assert all("poison point" in p.traceback for p in out)
+        assert status["stats"]["chunks_quarantined"] == 2
+        # Every retry ran: attempts reach the budget before quarantine.
+        assert status["stats"]["chunks_retried"] == \
+            2 * (FAST_RETRY.max_attempts - 1)
+
+    def test_duplicate_completion_is_discarded(self, tmp_path):
+        with _server(tmp_path, chunk_size=2) as server:
+            _submit(server, _specs(2), chunk_size=2)
+            grant = rpc(server.address, "lease", worker="slow")
+            outcomes = [(i, "ok", spec["x"] ** 2)
+                        for i, spec in grant["points"]]
+            first = rpc(server.address, "complete", worker="slow",
+                        chunk=grant["chunk"], outcomes=outcomes)
+            assert first == {"accepted": 2, "duplicates": 0,
+                             "requeued": False}
+            again = rpc(server.address, "complete", worker="slower",
+                        chunk=grant["chunk"], outcomes=outcomes)
+            assert again["duplicates"] == 2 and again["accepted"] == 0
+            status = rpc(server.address, "status")
+        assert status["stats"]["duplicate_completions"] == 2
+        assert status["stats"]["points_completed"] == 2
+        assert status["stats"]["digest_mismatches"] == 0
+
+    def test_mismatched_duplicate_counts_as_digest_mismatch(self, tmp_path):
+        with _server(tmp_path, chunk_size=1) as server:
+            _submit(server, _specs(1), chunk_size=1)
+            grant = rpc(server.address, "lease", worker="honest")
+            rpc(server.address, "complete", worker="honest",
+                chunk=grant["chunk"], outcomes=[(0, "ok", 0)])
+            rpc(server.address, "complete", worker="liar",
+                chunk=grant["chunk"], outcomes=[(0, "ok", 999)])
+            status = rpc(server.address, "status")
+            payload = rpc(server.address, "fetch")
+        assert status["stats"]["digest_mismatches"] == 1
+        # First completion wins; the liar's value never lands.
+        (index, state, data), = payload["results"]
+        assert pickle.loads(data) == 0
+
+
+# -- progress journal ----------------------------------------------------
+
+class TestJournal:
+    def test_missing_journal_loads_empty(self, tmp_path):
+        state = ProgressJournal.load(str(tmp_path / "absent.jsonl"))
+        assert state == JournalState()
+
+    def test_torn_tail_is_detected_and_dropped(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal = ProgressJournal(path)
+        for index in range(3):
+            data = pickle.dumps(index * 10, protocol=4)
+            journal.append({
+                "kind": "point", "index": index,
+                "digest": hashlib.sha256(data).hexdigest(),
+                "data": base64.b64encode(data).decode(),
+            })
+        journal.close()
+        with open(path, "a") as handle:
+            handle.write('{"kind": "point", "index": 3, "dig')  # torn write
+        state = ProgressJournal.load(path)
+        assert sorted(state.results) == [0, 1, 2]
+        assert state.torn_records == 1
+
+    def test_digest_mismatch_ends_replay(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        good = pickle.dumps(1, protocol=4)
+        digest = hashlib.sha256(good).hexdigest()
+        encoded = base64.b64encode(good).decode()
+        lines = [
+            {"kind": "point", "index": 0, "digest": digest,
+             "data": encoded},
+            # bit-rotted record: digest does not match the payload
+            {"kind": "point", "index": 1, "digest": "0" * 64,
+             "data": encoded},
+            {"kind": "point", "index": 2, "digest": digest,
+             "data": encoded},
+        ]
+        with open(path, "w") as handle:
+            for line in lines:
+                handle.write(json.dumps(line) + "\n")
+        state = ProgressJournal.load(path)
+        # Replay stops at the corrupt record: later lines are untrusted.
+        assert sorted(state.results) == [0]
+        assert state.torn_records == 1
+
+    def test_fresh_server_refuses_a_used_journal_without_resume(
+            self, tmp_path):
+        with _server(tmp_path) as server:
+            _submit(server, _specs(2))
+            path = server.journal_path
+        with pytest.raises(FarmError, match="--resume"):
+            FarmServer(port=0, journal_path=path)
+
+
+# -- crash-resumable campaigns -------------------------------------------
+
+class TestResume:
+    def test_resume_never_reruns_a_journaled_point(self, tmp_path):
+        del _RUN_LOG[:]
+        specs = _specs(8)
+        path = str(tmp_path / "journal.jsonl")
+        server = _server(tmp_path, journal_path=path, chunk_size=1)
+        _submit(server, specs, task="square_logged", chunk_size=1)
+        # A worker computes exactly 3 chunks, then the server "crashes".
+        FarmWorker(server.address, worker_id="early",
+                   reconnect=FAST_RECONNECT).run(max_chunks=3)
+        server.stop()
+        assert sorted(_RUN_LOG) == [0, 1, 2]
+
+        resumed = _server(tmp_path, journal_path=path, chunk_size=1,
+                          resume=True)
+        _worker_thread(resumed.address, worker_id="late")
+        out = farm_execute_points(specs, farm=resumed.address,
+                                  task=_square_logged, poll_s=0.05,
+                                  reconnect=FAST_RECONNECT)
+        status = rpc(resumed.address, "status")
+        resumed.stop()
+        assert out == [x ** 2 for x in range(8)]
+        # Journaled points 0-2 were served from the journal, not re-run.
+        assert sorted(_RUN_LOG) == list(range(8))
+        assert status["stats"]["resumes"] == 1
+        assert status["stats"]["points_completed"] == 8
+
+    def test_resume_survives_a_torn_tail(self, tmp_path):
+        specs = _specs(6)
+        path = str(tmp_path / "journal.jsonl")
+        server = _server(tmp_path, journal_path=path, chunk_size=1)
+        _submit(server, specs, chunk_size=1)
+        FarmWorker(server.address, worker_id="w",
+                   reconnect=FAST_RECONNECT).run(max_chunks=4)
+        server.stop()
+        # SIGKILL mid-append: the last journal line is half-written.
+        with open(path, "rb+") as handle:
+            handle.seek(-17, 2)
+            handle.truncate()
+        resumed = _server(tmp_path, journal_path=path, chunk_size=1,
+                          resume=True)
+        _worker_thread(resumed.address, worker_id="late")
+        out = farm_execute_points(specs, farm=resumed.address,
+                                  task=_square, poll_s=0.05,
+                                  reconnect=FAST_RECONNECT)
+        status = rpc(resumed.address, "status")
+        resumed.stop()
+        assert out == [x ** 2 for x in range(6)]
+        assert status["stats"]["torn_records"] == 1
+        assert status["stats"]["resumes"] == 1
+
+    @pytest.mark.parametrize("seed", [0, 7, 1234])
+    def test_seeded_chaos_converges_to_the_serial_answer(
+            self, tmp_path, seed):
+        """Property test: kills + duplicates + truncation stay correct.
+
+        A seeded storm — workers abandoning leases mid-campaign, a
+        duplicated chunk completion, a server kill with a truncated
+        journal tail, then a resume — must still merge byte-identical
+        to the serial run, with no point both completed and quarantined.
+        """
+        rng = random.Random(seed)
+        specs = _specs(rng.randrange(8, 16))
+        serial = execute_points(specs, jobs=1, task=_square)
+        path = str(tmp_path / "journal.jsonl")
+
+        server = _server(tmp_path, journal_path=path, lease_s=0.2,
+                         chunk_size=rng.choice([1, 2, 3]))
+        _submit(server, specs, chunk_size=rng.choice([1, 2, 3]))
+        # Phase 1: flaky workers that die (abandon leases) after a few
+        # chunks; one survivor also re-sends a duplicate completion.
+        for index in range(rng.randrange(1, 4)):
+            FarmWorker(server.address, worker_id=f"flaky{index}",
+                       reconnect=FAST_RECONNECT).run(
+                max_chunks=rng.randrange(1, 3))
+        grant = rpc(server.address, "lease", worker="dup")
+        if "chunk" in grant:
+            outcomes = [(i, "ok", spec["x"] ** 2)
+                        for i, spec in grant["points"]]
+            rpc(server.address, "complete", worker="dup",
+                chunk=grant["chunk"], outcomes=outcomes)
+            rpc(server.address, "complete", worker="dup",
+                chunk=grant["chunk"], outcomes=outcomes)
+        # A worker that leases and dies mid-chunk: never completes.
+        rpc(server.address, "lease", worker="abandoner")
+        # Phase 2: kill the server; maybe tear the journal's last line.
+        server.stop()
+        if rng.random() < 0.5:
+            with open(path, "rb+") as handle:
+                size = handle.seek(0, 2)
+                handle.truncate(size - rng.randrange(1, 9))
+        # Phase 3: resume and drain with fresh workers.
+        resumed = _server(tmp_path, journal_path=path, lease_s=1.0,
+                          chunk_size=1, resume=True)
+        for index in range(2):
+            _worker_thread(resumed.address, worker_id=f"drain{index}")
+        out = farm_execute_points(specs, farm=resumed.address,
+                                  task=_square, poll_s=0.05,
+                                  reconnect=FAST_RECONNECT)
+        status = rpc(resumed.address, "status")
+        resumed.stop()
+
+        assert out == serial
+        assert status["stats"]["resumes"] == 1
+        assert status["stats"]["points_completed"] == len(specs)
+        assert status["quarantined"] == 0
+
+
+# -- graceful degradation ------------------------------------------------
+
+class TestDegradation:
+    def test_unreachable_server_raises_without_fallback(self):
+        with pytest.raises(FarmUnreachableError):
+            farm_execute_points(_specs(2), farm="127.0.0.1:9",
+                                task=_square, reconnect=FAST_RECONNECT)
+
+    def test_local_fallback_runs_the_local_executor(self, capsys):
+        out = farm_execute_points(
+            _specs(3), farm="127.0.0.1:9", task=_square,
+            reconnect=FAST_RECONNECT, local_fallback=True, jobs=1,
+        )
+        assert out == [0, 1, 4]
+        assert "falling back" in capsys.readouterr().err
+
+    def test_env_fallback_flag(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FARM_FALLBACK", "1")
+        out = farm_execute_points(_specs(2), farm="127.0.0.1:9",
+                                  task=_square, reconnect=FAST_RECONNECT,
+                                  jobs=1)
+        assert out == [0, 1]
+
+    def test_worker_rides_out_a_server_restart(self, tmp_path):
+        specs = _specs(6)
+        path = str(tmp_path / "journal.jsonl")
+        server = _server(tmp_path, journal_path=path, chunk_size=1)
+        _submit(server, specs, chunk_size=1)
+        address = server.address
+        host, port = parse_address(address)
+        # A patient worker keeps retrying while the server is away.
+        patient = RetryPolicy(max_attempts=40, base_backoff_us=5e4,
+                              backoff_factor=1.5, max_backoff_us=2e5)
+        worker = FarmWorker(address, worker_id="patient",
+                            reconnect=patient)
+        thread = threading.Thread(target=worker.run, daemon=True)
+        thread.start()
+        time.sleep(0.3)
+        server.stop()
+        time.sleep(0.3)  # worker RPCs fail and back off meanwhile
+        resumed = FarmServer(host=host, port=port, journal_path=path,
+                             chunk_size=1, resume=True,
+                             chunk_retry=FAST_RETRY)
+        resumed.start()
+        out = farm_execute_points(specs, farm=resumed.address,
+                                  task=_square, poll_s=0.05,
+                                  reconnect=FAST_RECONNECT)
+        resumed.stop()
+        thread.join(timeout=10.0)
+        assert out == [x ** 2 for x in range(6)]
+        assert not thread.is_alive()
+
+
+# -- robustness rollups (BENCH entry) ------------------------------------
+
+class TestBenchEntry:
+    def test_rollups_and_entry_shape(self, tmp_path):
+        with _server(tmp_path, chunk_size=2) as server:
+            _worker_thread(server.address, worker_id="w")
+            farm_execute_points(_specs(4), farm=server.address,
+                                task=_square, poll_s=0.05)
+            status = rpc(server.address, "status")
+        rollups = farm_rollups(status)
+        assert rollups["total_points"] == 4.0
+        assert rollups["points_completed"] == 4.0
+        assert rollups["workers_lost"] == 0.0
+
+        path = str(tmp_path / "BENCH_robustness.json")
+        with open(path, "w") as handle:
+            json.dump({"summary": {"total_runs": 1}}, handle)
+        document = record_farm_bench_entry(path, "farm-test", status)
+        # Existing campaign content is preserved alongside the entry.
+        assert document["summary"] == {"total_runs": 1}
+        entry = document["entries"]["farm-test"]
+        assert entry["solver"] == "farm"
+        points = entry["sweeps"]["farm-robustness"]["points"]
+        assert [p["metric"] for p in points][:2] == \
+            ["total_points", "points_completed"]
+        with open(path) as handle:
+            assert json.load(handle) == document
+
+    def test_entry_gates_through_compare_bench(self, tmp_path):
+        from repro.telemetry.manifest import compare_bench
+
+        with _server(tmp_path, chunk_size=2) as server:
+            _worker_thread(server.address, worker_id="w")
+            farm_execute_points(_specs(4), farm=server.address,
+                                task=_square, poll_s=0.05)
+            status = rpc(server.address, "status")
+        path = str(tmp_path / "bench.json")
+        record_farm_bench_entry(path, "base", status)
+        record_farm_bench_entry(path, "same", status)
+        status["stats"]["workers_lost"] = 3
+        record_farm_bench_entry(path, "drifted", status)
+        with open(path) as handle:
+            bench = json.load(handle)
+        assert compare_bench(bench, "base", "same") == []
+        drifts = compare_bench(bench, "base", "drifted")
+        assert any("farm-robustness" in line for line in drifts)

@@ -15,6 +15,7 @@ Three guarantees under test:
 
 import json
 import pathlib
+import time
 
 import numpy as np
 import pytest
@@ -24,8 +25,10 @@ from repro.bench.parallel import (
     ParallelExecutor,
     PointFailure,
     WorkerPointError,
+    chunk_specs,
     execute_points,
     resolve_jobs,
+    resolve_timeout,
     run_point,
     warm_machine,
 )
@@ -41,6 +44,12 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 def _double_or_explode(spec):
     if spec["x"] == 13:
         raise ValueError("unlucky point 13")
+    return spec["x"] * 2
+
+
+def _double_or_hang(spec):
+    if spec["x"] == 13:
+        time.sleep(3600)
     return spec["x"] * 2
 
 
@@ -173,6 +182,94 @@ class TestCrashIsolation:
             execute_points(
                 [{"x": 13}, {"x": 1}], jobs=1, task=_double_or_explode
             )
+
+    def test_worker_traceback_and_spec_are_preserved(self):
+        with ParallelExecutor(2) as executor:
+            specs = [{"x": x} for x in (1, 13)]
+            failures = executor.map(
+                _double_or_explode, specs, on_error="return"
+            )
+            assert failures[1].spec == {"x": 13}
+            assert "_double_or_explode" in failures[1].traceback
+            with pytest.raises(WorkerPointError) as excinfo:
+                executor.map(_double_or_explode, specs)
+        assert excinfo.value.index == 1
+        assert "unlucky point 13" in excinfo.value.worker_traceback
+        assert "_double_or_explode" in excinfo.value.worker_traceback
+
+    def test_serial_failure_preserves_spec(self):
+        (failure,) = execute_points(
+            [{"x": 13}], jobs=1, task=_double_or_explode, on_error="return"
+        )
+        assert isinstance(failure, PointFailure)
+        assert failure.spec == {"x": 13}
+        assert "unlucky point 13" in failure.traceback
+
+
+# -- hung-worker chunk timeout -------------------------------------------
+
+class TestChunkTimeout:
+    def test_hung_point_fails_instead_of_hanging(self):
+        with ParallelExecutor(2, chunk_size=1) as executor:
+            results = executor.map(
+                _double_or_hang, [{"x": x} for x in (1, 13, 3)],
+                on_error="return", timeout_s=2.0,
+            )
+        assert results[0] == 2
+        assert results[2] == 6
+        assert isinstance(results[1], PointFailure)
+        assert "PointTimeout" in results[1].traceback
+        assert results[1].spec == {"x": 13}
+
+    def test_hung_point_raises_without_serial_rerun(self):
+        # A serial re-run of a hung point would hang this process too —
+        # the timeout must surface as WorkerPointError directly.
+        start = time.monotonic()
+        with ParallelExecutor(2, chunk_size=1, timeout_s=2.0) as executor:
+            with pytest.raises(WorkerPointError) as excinfo:
+                executor.map(_double_or_hang, [{"x": 13}, {"x": 1}])
+        assert time.monotonic() - start < 60.0
+        assert "timed out" in str(excinfo.value)
+        assert "PointTimeout" in excinfo.value.worker_traceback
+
+    def test_executor_survives_a_timeout(self):
+        with ParallelExecutor(2, chunk_size=1) as executor:
+            executor.map(
+                _double_or_hang, [{"x": 13}, {"x": 1}], on_error="return",
+                timeout_s=1.0,
+            )
+            # The wedged pool was put down; a fresh one serves the next map.
+            assert executor.map(_double_or_hang, [{"x": 2}, {"x": 3}]) \
+                == [4, 6]
+
+    def test_resolve_timeout_env_and_validation(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHUNK_TIMEOUT_S", raising=False)
+        assert resolve_timeout(None) is None
+        monkeypatch.setenv("REPRO_CHUNK_TIMEOUT_S", "2.5")
+        assert resolve_timeout(None) == 2.5
+        assert resolve_timeout(7.0) == 7.0
+        monkeypatch.setenv("REPRO_CHUNK_TIMEOUT_S", "soon")
+        with pytest.raises(ValueError, match="REPRO_CHUNK_TIMEOUT_S"):
+            resolve_timeout(None)
+        with pytest.raises(ValueError, match="positive"):
+            resolve_timeout(-1.0)
+
+
+# -- shared chunking helper ----------------------------------------------
+
+class TestChunkSpecs:
+    def test_chunks_cover_all_indices_in_order(self):
+        specs = [{"x": x} for x in range(10)]
+        chunks = chunk_specs(specs, jobs=2)
+        flat = [pair for chunk in chunks for pair in chunk]
+        assert flat == list(enumerate(specs))
+        assert len(chunks) >= 8  # at least 4 * jobs chunks
+
+    def test_explicit_chunk_size(self):
+        chunks = chunk_specs([{"x": x} for x in range(5)], chunk_size=2)
+        assert [len(c) for c in chunks] == [2, 2, 1]
+        with pytest.raises(ValueError, match="chunk_size"):
+            chunk_specs([{}], chunk_size=0)
 
 
 # -- parallel chaos campaigns --------------------------------------------
