@@ -51,11 +51,16 @@ that was re-leased after its lease expired — are detected, digest-
 verified against the journaled bytes (a mismatch is counted as a
 determinism violation), and discarded.
 
-Security note: the wire protocol carries pickled *results* (from
-workers running this repo's code) but never pickled *code* — a worker
-only executes tasks from the fixed allowlist below (extendable
-in-process via :func:`register_task`), and every connection is
-authenticated with the shared authkey (``REPRO_FARM_AUTHKEY``).
+Security note: the wire protocol is ``multiprocessing.connection``
+pickle, and **unpickling is code execution** — the task-name allowlist
+below only constrains honest peers; any peer holding the authkey can
+run arbitrary code on every farm process it talks to.  The HMAC
+authkey (``REPRO_FARM_AUTHKEY``) is therefore the *sole* trust
+boundary, and its in-repo default (``"repro-farm"``) is public: the
+server refuses to bind a non-loopback interface unless
+``REPRO_FARM_AUTHKEY`` is explicitly set, and even then the farm
+belongs on a trusted private segment — the authkey authenticates, it
+does not encrypt.
 """
 
 from __future__ import annotations
@@ -125,6 +130,11 @@ class FarmUnreachableError(FarmError):
 
 def _authkey() -> bytes:
     return os.environ.get(ENV_AUTHKEY, "repro-farm").encode()
+
+
+def _loopback(host: str) -> bool:
+    """True when ``host`` can only be reached from this machine."""
+    return host in ("localhost", "::1") or host.startswith("127.")
 
 
 def parse_address(address: str) -> Tuple[str, int]:
@@ -254,6 +264,9 @@ class JournalState:
     lease_expiries: int = 0
     resumes: int = 0
     torn_records: int = 0
+    #: file offset just past the last fully-valid, newline-terminated
+    #: record — everything beyond it is a torn tail (see ``repair``)
+    valid_bytes: int = 0
 
 
 class ProgressJournal:
@@ -273,8 +286,47 @@ class ProgressJournal:
         self._handle = None
 
     def open(self) -> None:
-        if self._handle is None:
-            self._handle = open(self.path, "a", encoding="utf-8")
+        if self._handle is not None:
+            return
+        # Never append onto a torn final line: a record concatenated to
+        # a partial write becomes one unparsable line, and load() would
+        # end every later replay at the merge point.  A trailing newline
+        # keeps the torn fragment isolated as its own (dropped) line;
+        # resumes additionally truncate it away first (see repair()).
+        torn = False
+        try:
+            with open(self.path, "rb") as existing:
+                existing.seek(-1, os.SEEK_END)
+                torn = existing.read(1) != b"\n"
+        except (OSError, ValueError):
+            pass  # missing or empty file: nothing to isolate
+        self._handle = open(self.path, "a", encoding="utf-8")
+        if torn:
+            self._handle.write("\n")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def repair(self, valid_bytes: int) -> None:
+        """Truncate everything past the last fully-valid record.
+
+        Called on resume, *before* the first append: a crash mid-write
+        leaves a partial final line, and any record appended after it
+        would otherwise postdate untrusted bytes.  ``valid_bytes`` comes
+        from :attr:`JournalState.valid_bytes` of the replay that decided
+        what to trust.
+        """
+        if self._handle is not None:
+            raise FarmError("repair the journal before opening for append")
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return
+        if size <= valid_bytes:
+            return
+        with open(self.path, "rb+") as handle:
+            handle.truncate(valid_bytes)
+            handle.flush()
+            os.fsync(handle.fileno())
 
     def close(self) -> None:
         if self._handle is not None:
@@ -291,18 +343,27 @@ class ProgressJournal:
     def load(path: str) -> JournalState:
         """Replay a journal, tolerating a torn tail.
 
-        The first unparsable or digest-mismatched line ends the replay:
-        appends are strictly ordered, so everything after a torn record
-        postdates the crash that tore it and is untrusted.
+        The first unparsable, digest-mismatched, or newline-less line
+        ends the replay: appends are strictly ordered, so everything
+        after a torn record postdates the crash that tore it and is
+        untrusted.  (A final line without its newline is torn even when
+        it parses — only ``record + "\\n"`` is ever written atomically,
+        so a missing terminator means the write was cut short.)
+        ``state.valid_bytes`` marks where the trusted prefix ends, for
+        :meth:`repair`.
         """
         state = JournalState()
         try:
-            handle = open(path, encoding="utf-8")
+            handle = open(path, "rb")
         except FileNotFoundError:
             return state
         with handle:
             for line in handle:
+                if not line.endswith(b"\n"):
+                    state.torn_records += 1
+                    break
                 if not line.strip():
+                    state.valid_bytes += len(line)
                     continue
                 try:
                     record = json.loads(line)
@@ -314,7 +375,13 @@ class ProgressJournal:
                         data = base64.b64decode(record["data"])
                         if hashlib.sha256(data).hexdigest() != record["digest"]:
                             raise ValueError("digest mismatch")
-                        state.results[int(record["index"])] = data
+                        index = int(record["index"])
+                        state.results[index] = data
+                        # A late honest completion beats an earlier
+                        # quarantine verdict (mirrors _op_complete): an
+                        # index must never sit in both maps, or resumed
+                        # campaigns double-count coverage.
+                        state.failures.pop(index, None)
                     elif kind == "quarantine":
                         for index in record["indices"]:
                             state.failures[int(index)] = record["traceback"]
@@ -326,6 +393,7 @@ class ProgressJournal:
                 except (ValueError, KeyError, TypeError):
                     state.torn_records += 1
                     break
+                state.valid_bytes += len(line)
         return state
 
 
@@ -407,6 +475,10 @@ class FarmServer:
                 f"--resume to continue it (or point at a fresh journal)"
             )
         if resume and state.header is not None:
+            # Drop the torn tail before the resume marker is appended,
+            # so every post-resume record stays replayable by a *second*
+            # resume (a partial line must never prefix fresh appends).
+            self._journal.repair(state.valid_bytes)
             self._load_state(state)
 
     # -- lifecycle -------------------------------------------------------
@@ -415,7 +487,21 @@ class FarmServer:
         return f"{self._host}:{self._port}"
 
     def start(self) -> None:
-        """Bind and serve in background threads; returns once listening."""
+        """Bind and serve in background threads; returns once listening.
+
+        Refuses a non-loopback bind under the default authkey: the wire
+        protocol is pickle, so the authkey is the sole trust boundary
+        (see the module docstring) and the in-repo default is public.
+        """
+        if not _loopback(self._host) and not os.environ.get(ENV_AUTHKEY):
+            raise FarmError(
+                f"refusing to bind {self._host!r} with the default "
+                f"authkey: the farm protocol is pickle (unpickling is "
+                f"code execution), so the {ENV_AUTHKEY} shared secret "
+                f"is the only thing keeping arbitrary network peers "
+                f"out.  Export {ENV_AUTHKEY} on the server and every "
+                f"worker/driver, or bind 127.0.0.1."
+            )
         self._listener = Listener(
             (self._host, self._port), authkey=_authkey()
         )
@@ -568,8 +654,11 @@ class FarmServer:
     def _campaign_done(self) -> bool:
         if self.manifest is None:
             return False
-        return (len(self._results) + len(self._failures)
-                >= len(self._specs))
+        # Union, not a sum of lengths: an index transiently covered by
+        # both maps (quarantined, then honestly completed late) must
+        # count once, or the campaign reports done one point early.
+        covered = self._results.keys() | self._failures.keys()
+        return len(covered) >= len(self._specs)
 
     def _reap(self) -> None:
         """Expire overdue leases; re-queue (or quarantine) their chunks."""
@@ -711,7 +800,14 @@ class FarmServer:
         with self._lock:
             if chunk not in self._chunks:
                 raise FarmError(f"unknown chunk {chunk}")
-            self._leases.pop(chunk, None)
+            lease = self._leases.get(chunk)
+            # Only the lease holder settles the lease (and, below, the
+            # retry budget).  A stale completion — a worker whose lease
+            # expired and was re-issued — must not evict the current
+            # holder, though its fresh ok results are still welcome.
+            owns = lease is not None and lease.worker == worker
+            if owns:
+                del self._leases[chunk]
             duplicates = 0
             fresh = 0
             errors: List[Tuple[int, str]] = []
@@ -745,11 +841,21 @@ class FarmServer:
                 fresh += 1
             if duplicates:
                 self.stats.duplicate_completions += duplicates
-            if errors:
+            requeued = False
+            if errors and owns:
                 tb = errors[-1][1]
                 self._requeue(
                     chunk,
                     tb if isinstance(tb, str) else repr(tb),
+                )
+                requeued = True
+            elif errors:
+                # Stale errors don't burn the retry budget: the chunk's
+                # fate belongs to the current holder (or to lease expiry,
+                # which already re-queued it once for this worker).
+                self._log(
+                    f"ignoring {len(errors)} stale error(s) for chunk "
+                    f"{chunk} from {worker} (not the lease holder)"
                 )
             elif fresh or not duplicates:
                 self.stats.chunks_completed += 1
@@ -758,7 +864,7 @@ class FarmServer:
             return {
                 "accepted": fresh,
                 "duplicates": duplicates,
-                "requeued": bool(errors),
+                "requeued": requeued,
             }
 
     def _op_status(self, worker: Optional[str] = None) -> dict:
@@ -790,7 +896,13 @@ class FarmServer:
         with self._lock:
             self._reap()
             if not self._campaign_done():
-                return {"done": False}
+                # Progress counts let the polling driver tell "slow"
+                # from "stalled" (see farm_execute_points' timeout_s).
+                return {
+                    "done": False,
+                    "completed": len(self._results),
+                    "quarantined": len(self._failures),
+                }
             merged: List[Tuple[int, str, object]] = []
             for index in range(len(self._specs)):
                 if index in self._results:
@@ -964,6 +1076,7 @@ def farm_execute_points(specs: Sequence[dict], *, farm: str,
                         poll_s: float = 0.5,
                         local_fallback: Optional[bool] = None,
                         reconnect: RetryPolicy = DEFAULT_RECONNECT,
+                        timeout_s: Optional[float] = None,
                         ) -> List[object]:
     """Run specs on a farm; merged results identical to the local executor.
 
@@ -973,7 +1086,20 @@ def farm_execute_points(specs: Sequence[dict], *, farm: str,
     :meth:`ParallelExecutor.map`, including the serial re-run diagnosis
     of quarantined points under ``on_error='raise'`` and
     :class:`~repro.bench.parallel.PointFailure` entries (worker
-    traceback and spec preserved) under ``on_error='return'``.
+    traceback and spec preserved) under ``on_error='return'``.  Points
+    quarantined after *lease expiry* (the farm's hung-worker bound) are
+    never re-run serially — a wedged point would wedge the driver too —
+    so they raise :class:`~repro.bench.parallel.WorkerPointError`
+    directly under ``on_error='raise'``.
+
+    ``timeout_s`` (argument > ``REPRO_CHUNK_TIMEOUT_S``, same
+    resolution as the local executor) bounds the *stall*, not the
+    campaign: when the server reports no new covered point for that
+    many seconds — no workers attached, every worker wedged — the
+    driver raises :class:`FarmError` instead of polling forever.  The
+    campaign itself stays live on the server and resumable from its
+    journal.  Per-point hang protection on a farm is the lease
+    deadline, not this timeout.
 
     Graceful degradation: server restarts mid-campaign are absorbed by
     the reconnect budget; a server that never answers raises
@@ -983,8 +1109,13 @@ def farm_execute_points(specs: Sequence[dict], *, farm: str,
     """
     if on_error not in ("raise", "return"):
         raise ValueError(f"on_error must be raise|return, got {on_error!r}")
-    from repro.bench.parallel import execute_points, run_point
+    from repro.bench.parallel import (
+        execute_points,
+        resolve_timeout,
+        run_point,
+    )
 
+    timeout = resolve_timeout(timeout_s)
     if task is None:
         task = run_point
     name = task_name(task)
@@ -1007,11 +1138,27 @@ def farm_execute_points(specs: Sequence[dict], *, farm: str,
             file=sys.stderr,
         )
         return execute_points(specs, jobs, task=task, on_error=on_error,
-                              farm="")
+                              farm="", timeout_s=timeout_s)
+    covered = -1
+    stall_deadline = None
     while True:
         payload = rpc_retry(farm, "fetch", policy=reconnect)
         if payload["done"]:
             break
+        if timeout is not None:
+            now = time.monotonic()
+            progress = (int(payload.get("completed", 0))
+                        + int(payload.get("quarantined", 0)))
+            if progress != covered:
+                covered = progress
+                stall_deadline = now + timeout
+            elif now >= stall_deadline:
+                raise FarmError(
+                    f"no farm progress within {timeout:g}s "
+                    f"({covered}/{len(specs)} points covered) — are any "
+                    f"workers attached?  The campaign stays live on "
+                    f"{farm} and resumable from its journal."
+                )
         time.sleep(poll_s)
     results: List[object] = [None] * len(specs)
     failures: List[Tuple[int, str, bool]] = []
@@ -1019,7 +1166,11 @@ def farm_execute_points(specs: Sequence[dict], *, farm: str,
         if status == "ok":
             results[index] = pickle.loads(value)
         else:
-            failures.append((index, value, True))
+            # A lease-expiry quarantine marks a point that may have
+            # wedged every worker that leased it: not-rerunnable, or
+            # the serial diagnosis re-run would wedge this process too.
+            rerunnable = not str(value).startswith("FarmLeaseExpired")
+            failures.append((index, value, rerunnable))
     return merge_failures(results, failures, specs, task, on_error)
 
 

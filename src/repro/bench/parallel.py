@@ -488,7 +488,10 @@ def execute_points(specs: Sequence[dict], jobs: Optional[int] = None,
     ``farm`` (argument > the ``REPRO_FARM`` env var) routes the specs to
     a sweep-farm work-server instead of local processes: same tasks,
     same chunking, same index-ordered merge — see
-    :mod:`repro.bench.farm`.
+    :mod:`repro.bench.farm`.  ``timeout_s`` is honored there too, but
+    as a *stall* bound (no campaign progress for that long raises)
+    rather than a per-chunk bound — a farm's per-point hang protection
+    is the lease deadline.
     """
     if farm is None:
         farm = os.environ.get(ENV_FARM, "").strip() or None
@@ -497,6 +500,7 @@ def execute_points(specs: Sequence[dict], jobs: Optional[int] = None,
 
         return farm_execute_points(
             specs, farm=farm, task=task, on_error=on_error, jobs=jobs,
+            timeout_s=timeout_s,
         )
     resolved = resolve_jobs(jobs)
     if resolved <= 1 or len(specs) <= 1:

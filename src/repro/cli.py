@@ -422,8 +422,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fp.add_argument(
         "--host", default="127.0.0.1",
-        help="interface to bind (default 127.0.0.1; use 0.0.0.0 to accept "
-             "workers from other hosts)",
+        help="interface to bind (default 127.0.0.1; to accept workers "
+             "from other hosts use 0.0.0.0, which additionally requires "
+             "an explicit REPRO_FARM_AUTHKEY — the authkey is the farm's "
+             "only trust boundary, see docs/robustness.md)",
     )
     fp.add_argument(
         "--port", type=int, default=8765,

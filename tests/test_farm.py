@@ -22,6 +22,7 @@ its lease and "killing" the server is stopping it mid-campaign.
 import base64
 import hashlib
 import json
+import os
 import pickle
 import random
 import threading
@@ -316,6 +317,50 @@ class TestLeases:
         assert status["stats"]["points_completed"] == 2
         assert status["stats"]["digest_mismatches"] == 0
 
+    def test_stale_error_completion_does_not_evict_lease(self, tmp_path):
+        """Only the lease holder settles the lease and spends retries."""
+        with _server(tmp_path, chunk_size=2) as server:
+            _submit(server, _specs(2), chunk_size=2)
+            grant = rpc(server.address, "lease", worker="holder")
+            stale = rpc(server.address, "complete", worker="stale",
+                        chunk=grant["chunk"],
+                        outcomes=[(0, "error", "Boom: late loser")])
+            assert stale["requeued"] is False
+            status = rpc(server.address, "status")
+            assert status["leased"][grant["chunk"]]["worker"] == "holder"
+            assert status["stats"]["chunks_retried"] == 0
+            assert status["stats"]["chunks_quarantined"] == 0
+            # The holder's honest completion still lands normally.
+            done = rpc(server.address, "complete", worker="holder",
+                       chunk=grant["chunk"],
+                       outcomes=[(i, "ok", spec["x"] ** 2)
+                                 for i, spec in grant["points"]])
+            assert done == {"accepted": 2, "duplicates": 0,
+                            "requeued": False}
+
+    def test_lease_expiry_quarantine_is_never_rerun_serially(self, tmp_path):
+        """A point that kept expiring its lease may be a genuine hang:
+        the driver must raise, not re-run it in-process."""
+        del _RUN_LOG[:]
+        specs = _specs(1)
+        with _server(tmp_path, lease_s=0.1, chunk_size=1) as server:
+            _submit(server, specs, task="square_logged", chunk_size=1)
+            deadline = time.monotonic() + 20.0
+            while rpc(server.address, "status")["quarantined"] < 1:
+                assert time.monotonic() < deadline
+                grant = rpc(server.address, "lease", worker="ghost")
+                if "chunk" in grant:
+                    time.sleep(0.12)  # wedge: hold the lease past expiry
+                else:
+                    time.sleep(min(float(grant.get("wait", 0.05)), 0.05))
+            with pytest.raises(WorkerPointError) as excinfo:
+                farm_execute_points(specs, farm=server.address,
+                                    task=_square_logged, poll_s=0.05,
+                                    reconnect=FAST_RECONNECT)
+        assert "FarmLeaseExpired" in excinfo.value.worker_traceback
+        assert excinfo.value.index == 0
+        assert _RUN_LOG == []  # never computed by the driver
+
     def test_mismatched_duplicate_counts_as_digest_mismatch(self, tmp_path):
         with _server(tmp_path, chunk_size=1) as server:
             _submit(server, _specs(1), chunk_size=1)
@@ -376,6 +421,67 @@ class TestJournal:
         state = ProgressJournal.load(path)
         # Replay stops at the corrupt record: later lines are untrusted.
         assert sorted(state.results) == [0]
+        assert state.torn_records == 1
+
+    def test_late_completion_beats_quarantine_on_replay(self, tmp_path):
+        """A 'point' record un-quarantines its index, mirroring the live
+        server — an index must never load into both maps."""
+        path = str(tmp_path / "j.jsonl")
+        journal = ProgressJournal(path)
+        journal.append({"kind": "quarantine", "chunk": 0,
+                        "indices": [0, 1],
+                        "traceback": "FarmLeaseExpired: ghost"})
+        data = pickle.dumps(0, protocol=4)
+        journal.append({
+            "kind": "point", "index": 0,
+            "digest": hashlib.sha256(data).hexdigest(),
+            "data": base64.b64encode(data).decode(),
+        })
+        journal.close()
+        state = ProgressJournal.load(path)
+        assert sorted(state.results) == [0]
+        assert sorted(state.failures) == [1]
+
+    def test_newline_less_tail_is_torn_even_if_it_parses(self, tmp_path):
+        """Only ``record + "\\n"`` is written atomically: a final line
+        missing its newline was cut short, however complete it looks."""
+        path = str(tmp_path / "j.jsonl")
+        journal = ProgressJournal(path)
+        data = pickle.dumps(5, protocol=4)
+        record = {
+            "kind": "point", "index": 0,
+            "digest": hashlib.sha256(data).hexdigest(),
+            "data": base64.b64encode(data).decode(),
+        }
+        journal.append(record)
+        journal.close()
+        trusted = os.path.getsize(path)
+        with open(path, "a") as handle:  # parseable, but no newline
+            handle.write(json.dumps({**record, "index": 1}))
+        state = ProgressJournal.load(path)
+        assert sorted(state.results) == [0]
+        assert state.torn_records == 1
+        assert state.valid_bytes == trusted
+        # repair() drops exactly the untrusted tail.
+        journal.repair(state.valid_bytes)
+        assert os.path.getsize(path) == trusted
+
+    def test_append_never_merges_into_a_torn_line(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with open(path, "w") as handle:
+            handle.write('{"kind": "point", "index": 0, "dig')  # torn
+        journal = ProgressJournal(path)
+        journal.append({"kind": "resume", "at": "now", "git_rev": "x"})
+        journal.close()
+        state = ProgressJournal.load(path)
+        # The torn fragment stays isolated on its own line; the fresh
+        # record after it is... untrusted by replay-order rules, so the
+        # guarantee here is just that the file has no merged lines.
+        with open(path) as handle:
+            lines = handle.read().splitlines()
+        assert lines[0] == '{"kind": "point", "index": 0, "dig'
+        assert json.loads(lines[1]) == {"kind": "resume", "at": "now",
+                                        "git_rev": "x"}
         assert state.torn_records == 1
 
     def test_fresh_server_refuses_a_used_journal_without_resume(
@@ -439,6 +545,93 @@ class TestResume:
         assert out == [x ** 2 for x in range(6)]
         assert status["stats"]["torn_records"] == 1
         assert status["stats"]["resumes"] == 1
+
+    def test_resume_after_quarantine_then_late_completion(self, tmp_path):
+        """Regression: replaying quarantine-then-late-completion used to
+        leave the index in *both* maps, so the resumed server declared
+        the campaign done one point early and crashed fetch with an
+        internal KeyError on the genuinely-uncovered index."""
+        specs = _specs(3)
+        path = str(tmp_path / "journal.jsonl")
+        server = _server(tmp_path, journal_path=path, chunk_size=2)
+        _submit(server, specs, chunk_size=2)  # chunk0={0,1}, chunk1={2}
+        # Drive chunk 0 to quarantine through honest error completions.
+        deadline = time.monotonic() + 20.0
+        parked = False
+        while rpc(server.address, "status")["quarantined"] < 2:
+            assert time.monotonic() < deadline
+            grant = rpc(server.address, "lease", worker="flaky")
+            if grant.get("chunk") == 0:
+                rpc(server.address, "complete", worker="flaky", chunk=0,
+                    outcomes=[(i, "error", "Boom: flaky") for i, _ in
+                              grant["points"]])
+            elif "chunk" in grant:
+                parked = True  # chunk 1 stays leased, never completes
+            else:
+                time.sleep(min(float(grant.get("wait", 0.05)), 0.05))
+        assert parked
+        # A late honest completion covers point 0 only: the journal now
+        # holds quarantine([0, 1]) followed by point(0).
+        rpc(server.address, "complete", worker="late", chunk=0,
+            outcomes=[(0, "ok", 0)])
+        server.stop()
+
+        resumed = _server(tmp_path, journal_path=path, chunk_size=1,
+                          resume=True)
+        # Not done: point 2 is still uncovered after the replay.
+        assert rpc(resumed.address, "status")["done"] is False
+        _worker_thread(resumed.address, worker_id="drain")
+        out = farm_execute_points(specs, farm=resumed.address,
+                                  task=_square, on_error="return",
+                                  poll_s=0.05, reconnect=FAST_RECONNECT)
+        status = rpc(resumed.address, "status")
+        resumed.stop()
+        assert out[0] == 0 and out[2] == 4
+        assert isinstance(out[1], PointFailure)  # still quarantined
+        assert status["quarantined"] == 1
+        assert status["stats"]["points_completed"] == 2
+
+    def test_records_after_a_resume_survive_a_second_resume(self, tmp_path):
+        """Regression: resuming over a torn tail used to append the
+        resume marker onto the partial line, so a *second* resume lost
+        every record journaled after the first one."""
+        del _RUN_LOG[:]
+        specs = _specs(6)
+        path = str(tmp_path / "journal.jsonl")
+        server = _server(tmp_path, journal_path=path, chunk_size=1)
+        _submit(server, specs, task="square_logged", chunk_size=1)
+        FarmWorker(server.address, worker_id="w0",
+                   reconnect=FAST_RECONNECT).run(max_chunks=2)
+        server.stop()
+        with open(path, "rb+") as handle:  # crash mid-write of point 1
+            handle.seek(-9, 2)
+            handle.truncate()
+        first = _server(tmp_path, journal_path=path, chunk_size=1,
+                        resume=True)
+        FarmWorker(first.address, worker_id="w1",
+                   reconnect=FAST_RECONNECT).run(max_chunks=2)
+        first.stop()
+        # The second replay keeps everything the first resume journaled.
+        state = ProgressJournal.load(path)
+        assert state.resumes == 1
+        assert sorted(state.results) == [0, 1, 2]
+        assert state.torn_records == 0  # repaired before the re-appends
+
+        final = _server(tmp_path, journal_path=path, chunk_size=1,
+                        resume=True)
+        _worker_thread(final.address, worker_id="w2")
+        out = farm_execute_points(specs, farm=final.address,
+                                  task=_square_logged, poll_s=0.05,
+                                  reconnect=FAST_RECONNECT)
+        status = rpc(final.address, "status")
+        final.stop()
+        assert out == [x ** 2 for x in range(6)]
+        assert status["stats"]["resumes"] == 2
+        assert status["stats"]["points_completed"] == 6
+        # Point 0 was journaled before the crash and never re-ran; only
+        # torn point 1 ran twice.
+        assert _RUN_LOG.count(0) == 1
+        assert _RUN_LOG.count(1) == 2
 
     @pytest.mark.parametrize("seed", [0, 7, 1234])
     def test_seeded_chaos_converges_to_the_serial_answer(
@@ -519,6 +712,51 @@ class TestDegradation:
                                   task=_square, reconnect=FAST_RECONNECT,
                                   jobs=1)
         assert out == [0, 1]
+
+    def test_driver_stall_timeout_raises_instead_of_polling_forever(
+            self, tmp_path, monkeypatch):
+        """A campaign making no progress (here: no workers at all) must
+        not hold the driver hostage when a timeout was requested."""
+        with _server(tmp_path, chunk_size=1) as server:
+            with pytest.raises(FarmError, match="no farm progress"):
+                farm_execute_points(_specs(2), farm=server.address,
+                                    task=_square, poll_s=0.02,
+                                    timeout_s=0.2,
+                                    reconnect=FAST_RECONNECT)
+            # The REPRO_CHUNK_TIMEOUT_S intent reaches the farm path too.
+            monkeypatch.setenv("REPRO_CHUNK_TIMEOUT_S", "0.2")
+            with pytest.raises(FarmError, match="no farm progress"):
+                farm_execute_points(_specs(2), farm=server.address,
+                                    task=_square, poll_s=0.02,
+                                    reconnect=FAST_RECONNECT)
+            # The campaign survives the driver's exit: a worker can
+            # still drain it and a patient driver gets the results.
+            monkeypatch.delenv("REPRO_CHUNK_TIMEOUT_S")
+            _worker_thread(server.address, worker_id="late")
+            out = farm_execute_points(_specs(2), farm=server.address,
+                                      task=_square, poll_s=0.02,
+                                      reconnect=FAST_RECONNECT)
+        assert out == [0, 1]
+
+    def test_nonloopback_bind_requires_explicit_authkey(
+            self, tmp_path, monkeypatch):
+        """The authkey is the pickle protocol's only trust boundary, and
+        the in-repo default is public: wildcard binds must refuse it."""
+        monkeypatch.delenv("REPRO_FARM_AUTHKEY", raising=False)
+        server = FarmServer(host="0.0.0.0", port=0,
+                            journal_path=str(tmp_path / "j.jsonl"))
+        with pytest.raises(FarmError, match="REPRO_FARM_AUTHKEY"):
+            server.start()
+        # An explicit shared secret unlocks the non-loopback bind.
+        monkeypatch.setenv("REPRO_FARM_AUTHKEY", "a-real-secret")
+        server = FarmServer(host="0.0.0.0", port=0,
+                            journal_path=str(tmp_path / "j2.jsonl"))
+        try:
+            server.start()
+            _, port = parse_address(server.address)
+            assert rpc(f"127.0.0.1:{port}", "status")["total"] == 0
+        finally:
+            server.stop()
 
     def test_worker_rides_out_a_server_restart(self, tmp_path):
         specs = _specs(6)
