@@ -1,0 +1,216 @@
+"""Serve smoke scenario: cold/memo/warm-restart identity over a real server.
+
+The end-to-end drill behind CI's ``serve-smoke`` job (and a handy local
+sanity check).  The script:
+
+1. starts a ``repro serve`` subprocess with an on-disk cache and issues
+   a ``repro query`` predict — tier **cold**, digest recorded;
+2. repeats the query — tier **memo**, same digest — then exercises
+   ``select`` (measured tie-break) and ``sweep`` (one memo hit, one
+   batch point);
+3. computes the same point through the **in-process serial harness**
+   and asserts the served digest is byte-identical to it;
+4. checks ``repro serve --stats`` reports the tier counters;
+5. SIGTERMs the server, restarts it on the same cache, and asserts the
+   repeat query is served from **disk** without re-simulating;
+6. runs the serve QPS benchmark in smoke mode (which itself refuses to
+   record unless memoized >= 100x cold and all tiers are bit-identical)
+   and gates the recorded entry with ``repro report --check-bench
+   --base ci-serve:cold --new ci-serve:memo --tolerance 0`` (and
+   ``:warm``).
+
+Run it from the repo root::
+
+    python benchmarks/serve_smoke.py [--port 8811] [--keep-dir]
+
+Exit status 0 means every assertion held.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.serve.client import query_server  # noqa: E402
+
+QUERY_ARGS = ["--family", "bcast", "--algorithm", "tree-shaddr",
+              "--size", "64K", "--iters", "2"]
+QUERY_JSON = {"op": "predict", "family": "bcast",
+              "algorithm": "tree-shaddr", "x": 65536, "iters": 2}
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    return env
+
+
+def _spawn(args, **kwargs):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *args],
+        env=_env(), cwd=REPO_ROOT,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL, **kwargs
+    )
+
+
+def _run(args, **kwargs):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env=_env(), cwd=REPO_ROOT, check=True, **kwargs
+    )
+
+
+def _query(args, address):
+    result = _run(["query", address, *args], stdout=subprocess.PIPE)
+    return json.loads(result.stdout)
+
+
+def _wait_for_server(address, deadline_s=30.0):
+    start = time.monotonic()
+    while True:
+        try:
+            return query_server(address, {"op": "ping"}, timeout=5.0)
+        except (ConnectionError, OSError):
+            if time.monotonic() - start > deadline_s:
+                raise
+            time.sleep(0.2)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--port", type=int, default=8811)
+    parser.add_argument("--keep-dir", action="store_true",
+                        help="leave the scratch directory behind")
+    args = parser.parse_args(argv)
+    address = f"127.0.0.1:{args.port}"
+    scratch = tempfile.mkdtemp(prefix="serve_smoke_")
+    cache = os.path.join(scratch, "serve.cache")
+    bench_out = os.path.join(scratch, "bench.json")
+    procs = []
+
+    def serve():
+        proc = _spawn(["serve", "--host", "127.0.0.1",
+                       "--port", str(args.port), "--cache", cache])
+        procs.append(proc)
+        return proc
+
+    try:
+        print("[1/6] cold query through repro serve / repro query ...")
+        serve()
+        _wait_for_server(address)
+        cold = _query(QUERY_ARGS, address)
+        assert cold["ok"] and cold["tier"] == "cold", cold["tier"]
+        digest = cold["digest"]
+
+        print("[2/6] repeat query memoizes; select and sweep work ...")
+        memo = _query(QUERY_ARGS, address)
+        assert memo["tier"] == "memo", memo["tier"]
+        assert memo["digest"] == digest, "memoized answer changed bytes"
+
+        selection = _query(["--op", "select", "--family", "bcast",
+                            "--size", "64K", "--iters", "2",
+                            "--candidates", "tree-shaddr,tree-shmem"],
+                           address)
+        assert selection["table_choice"] == "tree-shaddr", selection
+        measured = {entry["algorithm"]: entry
+                    for entry in selection["candidates"]}
+        assert measured["tree-shaddr"]["tier"] == "memo", selection
+        assert measured["tree-shaddr"]["digest"] == digest, selection
+
+        points_file = os.path.join(scratch, "points.json")
+        with open(points_file, "w") as handle:
+            json.dump([
+                {"family": "bcast", "algorithm": "tree-shaddr",
+                 "x": 65536, "iters": 2},
+                {"family": "bcast", "algorithm": "tree-shaddr",
+                 "x": 32768, "iters": 2},
+            ], handle)
+        sweep = _query(["--op", "sweep", "--points", points_file], address)
+        tiers = [point["tier"] for point in sweep["points"]]
+        assert tiers == ["memo", "batch"], tiers
+        assert sweep["points"][0]["digest"] == digest, sweep
+
+        print("[3/6] served digest is byte-identical to the serial "
+              "harness ...")
+        from repro.bench.farm import pickle_digest
+        from repro.bench.harness import run_collective
+        from repro.hardware.machine import Machine, Mode
+
+        machine = Machine(torus_dims=(2, 2, 2), mode=Mode.QUAD)
+        serial = run_collective(machine, "bcast", "tree-shaddr", 65536,
+                                iters=2)
+        assert pickle_digest(serial) == digest, (
+            "served answer is NOT byte-identical to the serial harness"
+        )
+
+        print("[4/6] repro serve --stats reports the tiers ...")
+        stats_run = _run(["serve", "--stats", address],
+                         stdout=subprocess.PIPE)
+        stats = json.loads(stats_run.stdout)
+        assert stats["tiers"]["cold"] == 1, stats["tiers"]
+        assert stats["tiers"]["memo"] >= 2, stats["tiers"]
+        assert stats["tiers"]["batch"] == 1, stats["tiers"]
+        assert stats["disk"]["entries"] >= 2, stats["disk"]
+        assert stats["latency"]["count"] >= 4, stats["latency"]
+
+        print("[5/6] SIGTERM the server; restart serves warm from the "
+              "cache ...")
+        server = procs[-1]
+        server.send_signal(signal.SIGTERM)
+        server.wait(timeout=30)
+        serve()
+        _wait_for_server(address)
+        warm_restart = _query(QUERY_ARGS, address)
+        assert warm_restart["tier"] in ("disk", "memo"), warm_restart["tier"]
+        assert warm_restart["digest"] == digest, (
+            "restarted server changed the answer's bytes"
+        )
+        stats_run = _run(["serve", "--stats", address],
+                         stdout=subprocess.PIPE)
+        stats = json.loads(stats_run.stdout)
+        assert stats["tiers"]["cold"] == 0, (
+            "restart re-simulated a cached point: " + repr(stats["tiers"])
+        )
+
+        print("[6/6] qps benchmark records and gates the serve entry ...")
+        subprocess.run(
+            [sys.executable, "-m", "repro.serve.bench", "--smoke",
+             "--out", bench_out, "--label", "ci-serve"],
+            env=_env(), cwd=REPO_ROOT, check=True,
+        )
+        _run(["report", "--check-bench", bench_out,
+              "--base", "ci-serve:cold", "--new", "ci-serve:memo",
+              "--tolerance", "0"])
+        _run(["report", "--check-bench", bench_out,
+              "--base", "ci-serve:cold", "--new", "ci-serve:warm",
+              "--tolerance", "0"])
+        with open(bench_out) as handle:
+            entry = json.load(handle)["entries"]["ci-serve"]
+        speedup = (entry["sweeps"]["memo"]["qps"]
+                   / entry["sweeps"]["cold"]["qps"])
+        print(f"serve smoke OK: bit-identical across tiers, restart served "
+              f"from cache, memo {speedup:.0f}x cold "
+              f"({entry['sweeps']['memo']['qps']:.0f} vs "
+              f"{entry['sweeps']['cold']['qps']:.1f} q/s)")
+        return 0
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        if args.keep_dir:
+            print(f"scratch kept at {scratch}")
+        else:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -102,6 +102,22 @@ ENV_FARM_FALLBACK = "REPRO_FARM_FALLBACK"
 #: pinned so worker- and server-side pickles of one result byte-compare
 _PICKLE_PROTOCOL = 4
 
+
+def pickle_digest(obj) -> str:
+    """SHA-256 over the pinned-protocol pickle of ``obj``.
+
+    The byte-identity currency of the distributed layers: the farm
+    digests journaled results with it, and the prediction service
+    (:mod:`repro.serve`) stamps every answer with it so a client can
+    prove a memoized or warm-pool answer is bit-identical to a cold
+    serial run.  The pickle protocol is pinned (see ``_PICKLE_PROTOCOL``)
+    so digests computed by different processes of the same object
+    byte-compare.
+    """
+    return hashlib.sha256(
+        pickle.dumps(obj, protocol=_PICKLE_PROTOCOL)
+    ).hexdigest()
+
 #: a lease not heartbeated for this long is considered worker-lost
 DEFAULT_LEASE_S = 30.0
 

@@ -73,8 +73,9 @@ import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.bench.warmpool import WarmMachinePool
 from repro.hardware.machine import Machine, Mode
 
 #: environment variable consulted when no explicit job count is given
@@ -165,8 +166,10 @@ class WorkerPointError(RuntimeError):
 
 # -- worker side ---------------------------------------------------------
 
-#: per-worker-process machine cache, keyed on geometry (see module doc)
-_MACHINES: Dict[Tuple, Machine] = {}
+#: per-worker-process warm-machine pool, keyed on geometry (the same
+#: bounded LRU the prediction service's warm tier uses — see
+#: :mod:`repro.bench.warmpool`)
+_POOL = WarmMachinePool()
 
 
 def warm_machine(dims: Sequence[int], mode: str = "QUAD",
@@ -177,18 +180,11 @@ def warm_machine(dims: Sequence[int], mode: str = "QUAD",
     later requests rebase its clock to the origin and hand it back.  After
     :meth:`Machine.rebase_time` a reused machine replays bit-identical
     float arithmetic to a fresh one, so points sharing a geometry skip
-    reconstruction without perturbing results.
+    reconstruction without perturbing results.  The cache behind it is
+    this process's :class:`~repro.bench.warmpool.WarmMachinePool` (LRU,
+    bounded size).
     """
-    key = (tuple(dims), mode, wrap, network)
-    machine = _MACHINES.get(key)
-    if machine is None:
-        machine = Machine(
-            torus_dims=tuple(dims), mode=Mode[mode], wrap=wrap,
-            network=network,
-        )
-        _MACHINES[key] = machine
-    else:
-        machine.rebase_time()
+    machine, _ = _POOL.checkout(dims, mode=mode, wrap=wrap, network=network)
     return machine
 
 

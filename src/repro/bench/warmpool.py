@@ -1,0 +1,112 @@
+"""Warm :class:`~repro.hardware.machine.Machine` pools: build once, reuse.
+
+Constructing a machine — channels, memory ports, kernel state — is pure
+overhead when a caller measures many independent points on the same
+geometry.  The parallel executor's workers have always dodged it with a
+per-process machine cache: build the machine on first use, then hand the
+*same* machine back after :meth:`~repro.hardware.machine.Machine.rebase_time`,
+which resets the clock origin so a reused machine replays the exact float
+arithmetic of a fresh one (bit-identical results, covered by
+``tests/test_parallel_executor.py`` and ``tests/test_serve.py``).
+
+This module lifts that cache into a shared, bounded pool with two
+consumers:
+
+* the parallel executor's workers (:func:`repro.bench.parallel.warm_machine`
+  delegates to a per-process pool), and
+* the prediction service (:mod:`repro.serve`), whose warm tier is exactly
+  this reuse pattern behind a long-running server.
+
+A pool is **not** a free list: machines stay inside it while in use, and
+a checkout of the same key hands back the same object after a rebase.
+That matches both consumers — each runs one simulation at a time per
+process (the serve executor is single-threaded by construction) — and
+keeps the pool a plain LRU keyed on ``(dims, mode, wrap, network)`` with
+bounded size: the least-recently-used geometry is evicted when the bound
+is exceeded, so a long-running server cannot accumulate one simulated
+machine per geometry it has ever been asked about.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Sequence, Tuple
+
+from repro.hardware.machine import Machine, Mode
+
+#: default geometry bound: plenty for a sweep, small enough that a
+#: long-running server holds at most a handful of simulated machines
+DEFAULT_MAX_MACHINES = 8
+
+
+class WarmMachinePool:
+    """A bounded LRU of reusable machines, keyed on geometry.
+
+    :meth:`checkout` returns ``(machine, warm)`` — ``warm`` is True when
+    the machine was reused (after ``rebase_time``) rather than built.
+    Counters (`hits`/`misses`/`evictions`) make the pool's behaviour
+    observable; :meth:`stats` snapshots them for the serve stats
+    endpoint.
+    """
+
+    def __init__(self, max_machines: int = DEFAULT_MAX_MACHINES):
+        if max_machines < 1:
+            raise ValueError(
+                f"max_machines must be >= 1, got {max_machines}"
+            )
+        self.max_machines = max_machines
+        self._machines: "OrderedDict[Tuple, Machine]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def _key(dims: Sequence[int], mode, wrap: bool,
+             network: str) -> Tuple:
+        mode_name = mode.name if isinstance(mode, Mode) else str(mode).upper()
+        return (tuple(dims), mode_name, bool(wrap), network)
+
+    def checkout(self, dims: Sequence[int], mode="QUAD",
+                 wrap: bool = True,
+                 network: str = "torus") -> Tuple[Machine, bool]:
+        """A pristine machine of the given geometry, reused when possible.
+
+        The first request per key builds the machine; later requests
+        rebase its clock to the origin and hand the same object back —
+        after :meth:`Machine.rebase_time` a reused machine replays
+        bit-identical float arithmetic to a fresh one.
+        """
+        key = self._key(dims, mode, wrap, network)
+        machine = self._machines.get(key)
+        if machine is not None:
+            self._machines.move_to_end(key)
+            machine.rebase_time()
+            self.hits += 1
+            return machine, True
+        machine = Machine(
+            torus_dims=key[0], mode=Mode[key[1]], wrap=key[2],
+            network=key[3],
+        )
+        self._machines[key] = machine
+        self.misses += 1
+        while len(self._machines) > self.max_machines:
+            self._machines.popitem(last=False)
+            self.evictions += 1
+        return machine, False
+
+    def occupancy(self) -> int:
+        """Machines currently held (bounded by ``max_machines``)."""
+        return len(self._machines)
+
+    def clear(self) -> None:
+        """Drop every pooled machine (tests; memory pressure)."""
+        self._machines.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "machines": len(self._machines),
+            "max_machines": self.max_machines,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

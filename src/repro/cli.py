@@ -32,6 +32,16 @@ Commands
     work`` runs a pull-worker against it, ``farm status`` prints
     campaign progress and robustness rollups (``--bench`` records them
     as a labelled ``BENCH_robustness.json`` entry).
+``serve``
+    The prediction service (``docs/serving.md``): a long-running query
+    server answering predict/select/sweep requests through tiered
+    caching — analytic fast path, warm machine pools, manifest-keyed
+    memoization (``--cache`` persists it across restarts), in-flight
+    coalescing.  ``serve --stats HOST:PORT`` prints a running server's
+    tier hit rates, pool occupancy and latency percentiles.
+``query``
+    The line-delimited-JSON client for ``serve``: one predict/select/
+    sweep/stats/ping/shutdown request per invocation.
 ``params``
     Dump the calibrated model constants.
 
@@ -495,6 +505,117 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the raw status payload as JSON instead of the summary",
     )
 
+    p = sub.add_parser(
+        "serve",
+        help="prediction service: long-running tiered query server",
+    )
+    p.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1; the server is "
+             "unauthenticated — same loopback-only posture as the farm)",
+    )
+    p.add_argument(
+        "--port", type=int, default=8766,
+        help="port to bind (default 8766; 0 = ephemeral, printed on start)",
+    )
+    p.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help="persist memoized answers here (JSONL keyed by git rev + "
+             "spec hash) so restarts serve warm; stale caches are "
+             "refused, never silently served",
+    )
+    p.add_argument(
+        "--memo", type=int, default=1024,
+        help="in-memory memoization entries (default 1024)",
+    )
+    p.add_argument(
+        "--pool", type=int, default=8,
+        help="warm machines kept per server (default 8; LRU-evicted)",
+    )
+    p.add_argument(
+        "--analytic", action="store_true",
+        help="opt every query into the closed-form fast path by default "
+             "(answers then match the DES within probe tolerance, not "
+             "bit-identically)",
+    )
+    p.add_argument(
+        "--stats", default=None, metavar="HOST:PORT",
+        help="instead of serving: print a running server's stats (tier "
+             "hit rates, pool occupancy, coalesced count, latency "
+             "percentiles)",
+    )
+    _add_jobs_arg(p)
+    _add_farm_arg(p)
+
+    p = sub.add_parser(
+        "query",
+        help="query a running prediction server (see 'repro serve')",
+    )
+    p.add_argument("server", metavar="HOST:PORT",
+                   help="prediction-server address")
+    p.add_argument(
+        "--op", default="predict",
+        choices=["predict", "select", "sweep", "stats", "ping", "shutdown"],
+        help="request type (default predict)",
+    )
+    p.add_argument(
+        "--family", default="bcast", choices=sorted(_MEASURE_COMMANDS),
+        help="collective family (default bcast)",
+    )
+    p.add_argument(
+        "--algorithm", default="auto",
+        help="algorithm name or 'auto' (message-size policy)",
+    )
+    p.add_argument(
+        "--size", default="1M",
+        help="the family's size argument (bytes / elements / block)",
+    )
+    p.add_argument(
+        "--dims", type=_parse_dims, default=(2, 2, 2),
+        help="machine geometry, e.g. 4x4x4 (default 2x2x2)",
+    )
+    p.add_argument(
+        "--mode", type=_parse_mode, default=Mode.QUAD,
+        help="operating mode: smp, dual or quad (default quad)",
+    )
+    _add_network_arg(p)
+    p.add_argument("--iters", type=int, default=1,
+                   help="Fig-5 measurement iterations (default 1)")
+    p.add_argument("--seed", type=int, default=1234)
+    p.add_argument("--root", type=int, default=0)
+    p.add_argument(
+        "--analytic", action="store_true",
+        help="opt this query into the closed-form fast path",
+    )
+    p.add_argument(
+        "--candidates", default=None,
+        help="select: comma-separated algorithms to measure (default: "
+             "every registered candidate for the family/mode/network)",
+    )
+    p.add_argument(
+        "--no-measure", action="store_true",
+        help="select: return the selection table's choice without "
+             "measuring candidates",
+    )
+    p.add_argument(
+        "--points", default=None, metavar="FILE",
+        help="sweep: JSON file holding a list of point queries",
+    )
+    _add_jobs_arg(p)
+    p.add_argument(
+        "--json", dest="raw_json", default=None, metavar="REQUEST",
+        help="send this raw JSON request object instead of building one "
+             "from the flags",
+    )
+    p.add_argument(
+        "--pretty", action="store_true",
+        help="indent the response JSON",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="socket timeout in seconds (default 300)",
+    )
+
     sub.add_parser("params", help="dump the calibrated model constants")
     return parser
 
@@ -856,6 +977,107 @@ def _cmd_farm_inner(args, farm_mod) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import json
+
+    from repro.serve.server import PredictionServer
+    from repro.serve.service import PredictionService
+
+    if args.stats:
+        from repro.serve.client import query_server
+
+        response = query_server(args.stats, {"op": "stats"})
+        print(json.dumps(response, indent=2, sort_keys=True))
+        return 0
+
+    service = PredictionService(
+        max_memo=args.memo,
+        max_machines=args.pool,
+        cache_path=args.cache,
+        analytic_default=args.analytic,
+    )
+    server = PredictionServer(
+        service, host=args.host, port=args.port,
+        jobs=args.jobs, farm=args.farm,
+    )
+
+    class _Announce:
+        # run() calls .set() once the socket is accepting — the moment
+        # to print the (possibly ephemeral) bound address.
+        def set(self):
+            host, port = server.address
+            extras = []
+            if args.cache:
+                extras.append(f"cache {args.cache}")
+            if args.analytic:
+                extras.append("analytic default on")
+            suffix = f" ({', '.join(extras)})" if extras else ""
+            print(f"prediction server on {host}:{port}{suffix}", flush=True)
+
+    try:
+        asyncio.run(server.run(_Announce()))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_query(args) -> int:
+    import json
+
+    from repro.serve.client import ServeRequestError, query_server
+
+    if args.raw_json:
+        payload = json.loads(args.raw_json)
+    elif args.op in ("stats", "ping", "shutdown"):
+        payload = {"op": args.op}
+    elif args.op == "sweep":
+        if not args.points:
+            print("sweep requires --points FILE (a JSON list of point "
+                  "queries) or --json", file=sys.stderr)
+            return 2
+        with open(args.points) as handle:
+            payload = {"op": "sweep", "points": json.load(handle)}
+        if args.jobs is not None:
+            payload["jobs"] = args.jobs
+    else:
+        payload = {
+            "op": args.op,
+            "family": args.family,
+            "x": parse_size(args.size),
+            "dims": list(args.dims),
+            "mode": args.mode.name,
+            "network": args.network,
+            "iters": args.iters,
+            "seed": args.seed,
+            "root": args.root,
+        }
+        if args.analytic:
+            payload["analytic"] = True
+        if args.op == "predict":
+            payload["algorithm"] = args.algorithm
+        else:  # select
+            if args.candidates:
+                payload["candidates"] = [
+                    name.strip() for name in args.candidates.split(",")
+                    if name.strip()
+                ]
+            if args.no_measure:
+                payload["measure"] = False
+    try:
+        response = query_server(args.server, payload, timeout=args.timeout)
+    except ServeRequestError as exc:
+        print(f"refused: {exc}", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as exc:
+        print(f"error: cannot reach prediction server at {args.server}: "
+              f"{exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(response, indent=2 if args.pretty else None,
+                     sort_keys=True))
+    return 0
+
+
 def _cmd_params(_args) -> int:
     params = BGPParams()
     for field in dataclasses.fields(params):
@@ -876,6 +1098,8 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "traffic": _cmd_traffic,
     "farm": _cmd_farm,
+    "serve": _cmd_serve,
+    "query": _cmd_query,
     "params": _cmd_params,
 }
 

@@ -172,6 +172,28 @@ def selectable_families() -> List[str]:
     return sorted(SELECTION_TABLE)
 
 
+def candidate_algorithms(family: str, ppn: int,
+                         network: str = "torus") -> List[str]:
+    """Registered algorithms of ``family`` runnable at ``ppn`` on ``network``.
+
+    The measured tie-break of the prediction service's ``select``
+    endpoint (:mod:`repro.serve`) measures exactly this set and picks
+    the fastest — the selection table above states the paper's *policy*,
+    this lists the *candidates* the policy chose among.  Filtering
+    mirrors the harness's own gates: the algorithm's registered modes
+    must include ``ppn`` and its wire must exist on the network backend.
+    """
+    from repro.collectives.registry import iter_algorithms
+    from repro.hardware.network import backend_class
+
+    wires = backend_class(network).wires
+    return [
+        info.name
+        for info in iter_algorithms(family)
+        if info.supports_ppn(ppn) and info.network in wires
+    ]
+
+
 def next_fallback(family: str, name: str) -> Optional[str]:
     """The protocol to degrade to when ``family``/``name`` faults out.
 

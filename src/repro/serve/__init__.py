@@ -1,0 +1,48 @@
+"""The prediction service: a long-running, tiered query server.
+
+The simulator answers "what does protocol P on geometry G at size S
+cost?"; this package productizes that answer behind a line-delimited-JSON
+server with four performance tiers (``docs/serving.md``):
+
+* **tier 0 — analytic**: the validated closed-form laws of
+  :mod:`repro.sim.analytic`, when a query opts in and its legality gate
+  passes;
+* **tier 1 — warm pools**: per-(geometry, network, mode) reusable
+  machines (:mod:`repro.bench.warmpool`), bit-identical across reuse by
+  ``Machine.rebase_time``;
+* **tier 2 — memoization**: an LRU keyed on the full query identity,
+  values carrying :class:`~repro.telemetry.manifest.RunManifest` results,
+  backed by an on-disk cache invalidated by git rev + spec hash so
+  restarts serve warm;
+* **tier 3 — coalescing + batching**: duplicate in-flight queries await
+  one computation, and ``sweep`` batches fan through
+  :func:`~repro.bench.parallel.execute_points` (``--jobs`` /
+  ``REPRO_FARM``), so a sweep farm can back large backfills.
+
+Entry points: ``repro serve`` (the server), ``repro query`` (the
+client), :mod:`repro.serve.bench` (the cold/warm/memoized/analytic
+queries-per-second benchmark behind the ``serve`` entry of
+``BENCH_core.json``).
+"""
+
+from repro.serve.client import ServeClient, query_server
+from repro.serve.server import PredictionServer, start_background_server
+from repro.serve.service import (
+    DiskCache,
+    MemoCache,
+    PredictionService,
+    QueryError,
+    normalize_query,
+)
+
+__all__ = [
+    "DiskCache",
+    "MemoCache",
+    "PredictionServer",
+    "PredictionService",
+    "QueryError",
+    "ServeClient",
+    "normalize_query",
+    "query_server",
+    "start_background_server",
+]

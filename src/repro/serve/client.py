@@ -1,0 +1,168 @@
+"""A small blocking client for the prediction server's line protocol.
+
+:class:`ServeClient` keeps one TCP connection open and exchanges
+newline-delimited JSON request/response pairs — the persistent
+connection is what makes memoized queries cheap end to end (no TCP
+handshake per query).  :func:`query_server` is the one-shot convenience
+behind ``repro query``.
+
+Responses with ``ok: false`` raise :class:`ServeRequestError` carrying
+the server's error message, so callers never mistake a refusal for an
+answer.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import List, Optional, Tuple, Union
+
+Address = Union[str, Tuple[str, int]]
+
+
+class ServeRequestError(RuntimeError):
+    """The server answered ``ok: false``; carries its error message."""
+
+    def __init__(self, message: str, *, error_type: Optional[str] = None,
+                 response: Optional[dict] = None):
+        super().__init__(message)
+        self.error_type = error_type
+        self.response = response or {}
+
+
+def parse_address(address: Address) -> Tuple[str, int]:
+    """``"host:port"`` (or a ``(host, port)`` pair) -> ``(host, port)``."""
+    if isinstance(address, tuple):
+        host, port = address
+        return str(host), int(port)
+    host, sep, port = str(address).rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"server address must look like host:port, got {address!r}"
+        )
+    try:
+        return host, int(port)
+    except ValueError as exc:
+        raise ValueError(
+            f"server address port must be an integer, got {port!r}"
+        ) from exc
+
+
+class ServeClient:
+    """One persistent connection to a prediction server.
+
+    Lazily connects on first request; usable as a context manager.  All
+    methods raise :class:`ServeRequestError` when the server refuses the
+    request and :class:`ConnectionError`/``socket.timeout`` on transport
+    trouble.
+    """
+
+    def __init__(self, address: Address, *, timeout: float = 300.0):
+        self.host, self.port = parse_address(address)
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._rfile = None
+
+    # -- transport ---------------------------------------------------------
+    def connect(self) -> None:
+        if self._sock is not None:
+            return
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout,
+        )
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+
+    def close(self) -> None:
+        if self._rfile is not None:
+            try:
+                self._rfile.close()
+            except OSError:
+                pass
+            self._rfile = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def request(self, payload: dict, *, check: bool = True) -> dict:
+        """Send one request object; return the server's response object."""
+        line = json.dumps(payload, sort_keys=True).encode("ascii") + b"\n"
+        raw = b""
+        for attempt in (0, 1):
+            # A dead persistent connection (server restart, idle drop)
+            # surfaces either as an OSError or as an empty read — the
+            # send itself often "succeeds" into a dead socket's buffer.
+            # One clean reconnect attempt, then give up loudly.
+            self.connect()
+            try:
+                self._sock.sendall(line)
+                raw = self._rfile.readline()
+            except OSError:
+                self.close()
+                if attempt:
+                    raise
+                continue
+            if raw:
+                break
+            self.close()
+        if not raw:
+            raise ConnectionError(
+                f"prediction server at {self.host}:{self.port} closed the "
+                f"connection mid-request"
+            )
+        response = json.loads(raw)
+        if check and not response.get("ok", False):
+            raise ServeRequestError(
+                response.get("error", "request refused"),
+                error_type=response.get("error_type"),
+                response=response,
+            )
+        return response
+
+    # -- ops ---------------------------------------------------------------
+    def predict(self, **query) -> dict:
+        return self.request({**query, "op": "predict"})
+
+    def select(self, **query) -> dict:
+        return self.request({**query, "op": "select"})
+
+    def sweep(self, points: List[dict], *, jobs: Optional[int] = None) -> dict:
+        payload = {"op": "sweep", "points": points}
+        if jobs is not None:
+            payload["jobs"] = jobs
+        return self.request(payload)
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})
+
+
+def query_server(address: Address, payload: dict, *,
+                 timeout: float = 300.0, check: bool = True) -> dict:
+    """One-shot request/response against a running server."""
+    with ServeClient(address, timeout=timeout) as client:
+        return client.request(payload, check=check)
+
+
+__all__ = [
+    "Address",
+    "ServeClient",
+    "ServeRequestError",
+    "parse_address",
+    "query_server",
+]

@@ -1,0 +1,697 @@
+"""The tiered prediction service core (transport-free).
+
+:class:`PredictionService` turns one normalized query — *what does
+protocol P on geometry G at size S cost?* — into a
+:class:`~repro.collectives.base.CollectiveResult` as cheaply as
+possible, walking the tiers from cheapest to dearest:
+
+1. **memo** — an in-memory LRU (:class:`MemoCache`) keyed on the full
+   query identity ``(family, protocol, geometry, network, mode, size,
+   iters, seed, root, window caching, steady-state, analytic, faults,
+   solver mode)``;
+2. **disk** — the same entries persisted by :class:`DiskCache`, so a
+   restarted server answers repeat queries without re-simulating;
+3. **analytic** — the validated closed-form laws of
+   :mod:`repro.sim.analytic`, when the query opts in
+   (``"analytic": true``) and the legality gate passes;
+4. **warm** — a full DES run on a pooled machine
+   (:class:`~repro.bench.warmpool.WarmMachinePool` — construction
+   amortized, results bit-identical to a fresh machine);
+5. **cold** — a full DES run on a freshly built machine.
+
+Every served answer carries the SHA-256 of its pinned-protocol pickle
+(:func:`repro.bench.farm.pickle_digest`), so a client can prove that a
+memoized or warm-pool answer is **bit-identical** to a cold serial run —
+the same byte-identity currency the sweep farm journals.
+
+Cache identity and invalidation
+-------------------------------
+
+The cache key is the :func:`~repro.telemetry.manifest.spec_fingerprint`
+of the normalized executable spec plus the resolved solver mode — the
+very identity the sweep farm's :class:`CampaignManifest` uses, collapsed
+to one point.  The on-disk cache adds the **git revision** as a header:
+a cache written by different code is refused wholesale (and truncated),
+never silently served; a tampered entry (spec hash or payload digest
+mismatch) is dropped individually.  Flipping a solver env var changes
+the resolved solver mode and therefore the key, so entries recorded
+under another solver are simply never looked up.
+
+The service is synchronous and single-simulation by design; the asyncio
+server (:mod:`repro.serve.server`) runs it on a one-thread executor and
+adds in-flight coalescing and sweep batching on top.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import io
+import json
+import os
+import pickle
+import sys
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from types import SimpleNamespace
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.farm import pickle_digest
+from repro.bench.harness import FAMILY_SPECS, run_collective
+from repro.bench.warmpool import WarmMachinePool
+from repro.collectives.base import CollectiveResult
+from repro.collectives.registry import algorithm_info
+from repro.collectives.selection import select_protocol
+from repro.hardware.machine import Machine, Mode
+from repro.hardware.network import UnsupportedTopologyError, known_backends
+from repro.sim.config import resolve_solver_config
+from repro.telemetry.manifest import git_revision, spec_fingerprint
+
+#: pinned (with the farm's pickle protocol) so cache payloads written by
+#: one process byte-compare in another
+_PICKLE_PROTOCOL = 4
+
+#: the fingerprint namespace: one query == a one-point campaign
+_FINGERPRINT_TASK = "serve-predict"
+
+#: on-disk cache format version (bumped on incompatible layout changes)
+DISK_CACHE_VERSION = 1
+
+#: service latency samples kept for the p50/p95 stats (ring buffer)
+_LATENCY_WINDOW = 2048
+
+
+class QueryError(ValueError):
+    """A malformed or unservable query (reported to the client, not raised
+    through the server loop)."""
+
+
+# -- normalization --------------------------------------------------------
+
+#: spec fields run_point/run_collective accept, with serve defaults
+_SPEC_DEFAULTS = {
+    "dims": (2, 2, 2),
+    "mode": "QUAD",
+    "wrap": True,
+    "network": "torus",
+    "iters": 1,
+    "seed": 1234,
+    "root": 0,
+    "window_caching": True,
+}
+
+#: optional fields forwarded only when the client sets them
+_SPEC_OPTIONAL = ("steady_state", "analytic")
+
+#: request fields the serving layer refuses (the service is timing-only
+#: and fault-free; these would silently change what "the same query"
+#: means or cannot cross the JSON boundary faithfully)
+_REFUSED_FIELDS = ("verify", "payload", "deadline_us", "working_set_override",
+                   "fresh_machine")
+
+_KNOWN_FIELDS = frozenset(
+    ("family", "algorithm", "x", "faults")
+    + tuple(_SPEC_DEFAULTS) + _SPEC_OPTIONAL
+)
+
+
+def normalize_query(request: dict) -> dict:
+    """Canonicalize one predict request into an executable point spec.
+
+    The result is exactly a :func:`repro.bench.parallel.run_point` spec —
+    the same dict the sweep endpoint fans through ``execute_points`` —
+    with every default made explicit so the spec is its own cache
+    identity.  ``algorithm: "auto"`` is resolved through the section-V
+    selection table here, so the cache key is always a concrete
+    protocol.  Raises :class:`QueryError` on unknown fields, refused
+    fields, or unservable values.
+    """
+    if not isinstance(request, dict):
+        raise QueryError(f"query must be a JSON object, got {type(request).__name__}")
+    for fld in _REFUSED_FIELDS:
+        if request.get(fld):
+            raise QueryError(
+                f"the prediction service is timing-only and fault-free; "
+                f"field {fld!r} is not servable"
+            )
+    if request.get("faults") not in (None, [], {}):
+        raise QueryError(
+            "fault schedules are not servable; run `repro chaos` for "
+            "fault campaigns"
+        )
+    unknown = set(request) - _KNOWN_FIELDS - {"op", "id", "jobs", "measure"}
+    if unknown:
+        raise QueryError(f"unknown query field(s): {sorted(unknown)}")
+
+    family = request.get("family")
+    if family not in FAMILY_SPECS:
+        raise QueryError(
+            f"unknown collective family {family!r}; known: "
+            f"{sorted(FAMILY_SPECS)}"
+        )
+    try:
+        x = int(request.get("x", 0))
+    except (TypeError, ValueError):
+        raise QueryError(f"x must be an integer, got {request.get('x')!r}")
+    if x < 0:
+        raise QueryError(f"x must be >= 0, got {x}")
+
+    spec = {"family": family, "algorithm": request.get("algorithm", "auto"),
+            "x": x}
+    for fld, default in _SPEC_DEFAULTS.items():
+        spec[fld] = request.get(fld, default)
+    for fld in _SPEC_OPTIONAL:
+        if fld in request and request[fld] is not None:
+            spec[fld] = bool(request[fld])
+
+    dims = spec["dims"]
+    if isinstance(dims, str):
+        try:
+            dims = tuple(int(part) for part in dims.lower().split("x"))
+        except ValueError:
+            raise QueryError(f"dims must look like 4x4x4, got {dims!r}")
+    try:
+        dims = tuple(int(d) for d in dims)
+    except (TypeError, ValueError):
+        raise QueryError(f"dims must be three integers, got {spec['dims']!r}")
+    if len(dims) != 3 or any(d < 1 for d in dims):
+        raise QueryError(f"dims must be three positive integers, got {dims}")
+    spec["dims"] = dims
+
+    mode = str(spec["mode"]).upper()
+    if mode not in Mode.__members__:
+        raise QueryError(
+            f"mode must be one of {sorted(Mode.__members__)}, got "
+            f"{spec['mode']!r}"
+        )
+    spec["mode"] = mode
+    spec["wrap"] = bool(spec["wrap"])
+    if spec["network"] not in known_backends():
+        raise QueryError(
+            f"unknown network {spec['network']!r}; known: {known_backends()}"
+        )
+    try:
+        spec["iters"] = int(spec["iters"])
+        spec["seed"] = int(spec["seed"])
+        spec["root"] = int(spec["root"])
+    except (TypeError, ValueError):
+        raise QueryError("iters, seed and root must be integers")
+    if spec["iters"] < 1:
+        raise QueryError(f"iters must be >= 1, got {spec['iters']}")
+    spec["window_caching"] = bool(spec["window_caching"])
+
+    if spec["algorithm"] == "auto":
+        fam_spec = FAMILY_SPECS[family]
+        if fam_spec.select_nbytes is None:
+            raise QueryError(f"family {family!r} has no auto-selection policy")
+        ppn = Mode[mode].value
+        # The select_nbytes adapters only consult geometry-free fields;
+        # a lightweight stand-in keeps normalization machine-free.
+        proxy = SimpleNamespace(ppn=ppn, nprocs=ppn * dims[0] * dims[1] * dims[2])
+        spec["algorithm"] = select_protocol(
+            family, fam_spec.select_nbytes(proxy, x), ppn,
+            network=spec["network"],
+        )
+    else:
+        # Surface lookup typos at normalize time, not deep in a worker.
+        algorithm_info(family, spec["algorithm"])
+    return spec
+
+
+def query_key(spec: dict) -> str:
+    """The cache identity of a normalized spec.
+
+    A :func:`spec_fingerprint` (the ``CampaignManifest`` identity,
+    collapsed to one point) over the executable spec *plus* the resolved
+    solver mode — two processes running different solver configurations
+    never share a key, so a cache can never serve a vectorized answer to
+    a slowpath client (they are bit-identical by construction, but the
+    manifest's ``solver_mode`` attribution would lie).
+    """
+    keyed = dict(spec)
+    keyed["solver_mode"] = resolve_solver_config().mode
+    keyed["faults"] = None
+    return spec_fingerprint(_FINGERPRINT_TASK, [keyed])
+
+
+# -- caches ---------------------------------------------------------------
+
+@dataclass
+class CachedAnswer:
+    """One memoized answer: the result plus its byte-identity digest."""
+
+    result: CollectiveResult
+    digest: str
+    spec: dict
+
+
+class MemoCache:
+    """A bounded LRU of :class:`CachedAnswer` keyed by query fingerprint."""
+
+    def __init__(self, max_entries: int = 1024):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, CachedAnswer]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str) -> Optional[CachedAnswer]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, answer: CachedAnswer) -> None:
+        self._entries[key] = answer
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+class DiskCache:
+    """Manifest-keyed persistent cache: restarts serve warm, stale refused.
+
+    Layout: append-only JSONL.  The first line is a header carrying the
+    cache version and the **git revision** that computed the entries;
+    each following line is one entry::
+
+        {"kind": "result", "key": <spec fingerprint>, "spec": {...},
+         "digest": sha256(pickle), "data": base64(pickle)}
+
+    Loading re-derives every entry's fingerprint from its stored spec and
+    re-hashes its payload; an entry whose key or digest does not match is
+    **dropped, never served** — same for the whole file when the header's
+    git revision differs from the running code's (the file is truncated
+    so it cannot shadow fresh entries forever).  A torn trailing line (a
+    crash mid-append) is tolerated and dropped.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._entries: Dict[str, Tuple[str, bytes, dict]] = {}
+        self.loaded = 0
+        self.dropped = 0
+        self.stale_git_rev: Optional[str] = None
+        self._header_written = False
+        self._load()
+
+    # -- loading ----------------------------------------------------------
+    def _load(self) -> None:
+        try:
+            with open(self.path, "rb") as handle:
+                raw = handle.read()
+        except FileNotFoundError:
+            return
+        lines = raw.split(b"\n")
+        if raw.endswith(b"\n"):
+            lines = lines[:-1]
+        elif lines:
+            # Newline-less tail == torn final append: drop it.
+            lines = lines[:-1]
+            self.dropped += 1
+        if not lines:
+            return
+        try:
+            header = json.loads(lines[0])
+            assert header.get("kind") == "header"
+        except (ValueError, AssertionError):
+            print(f"serve cache {self.path}: unreadable header; refusing "
+                  f"the whole file", file=sys.stderr)
+            self.dropped += len(lines)
+            return
+        if header.get("version") != DISK_CACHE_VERSION:
+            print(f"serve cache {self.path}: version "
+                  f"{header.get('version')!r} != {DISK_CACHE_VERSION}; "
+                  f"refusing the whole file", file=sys.stderr)
+            self.dropped += len(lines) - 1
+            return
+        rev = git_revision()
+        if header.get("git_rev") != rev:
+            # Stale manifests are refused, never silently served: results
+            # recorded by other code may not be byte-identical to ours.
+            self.stale_git_rev = header.get("git_rev")
+            self.dropped += len(lines) - 1
+            print(
+                f"serve cache {self.path}: recorded at git rev "
+                f"{self.stale_git_rev!r}, running {rev!r}; refusing "
+                f"{len(lines) - 1} stale entr(ies)", file=sys.stderr,
+            )
+            return
+        self._header_written = True
+        for line in lines[1:]:
+            if self._load_entry(line):
+                self.loaded += 1
+            else:
+                self.dropped += 1
+
+    def _load_entry(self, line: bytes) -> bool:
+        try:
+            record = json.loads(line)
+            if record.get("kind") != "result":
+                return False
+            key = record["key"]
+            spec = record["spec"]
+            data = base64.b64decode(record["data"].encode("ascii"))
+            if hashlib.sha256(data).hexdigest() != record["digest"]:
+                return False
+        except (ValueError, KeyError, TypeError):
+            return False
+        # The spec hash is the entry's identity: recompute it from the
+        # stored spec so a tampered or mislabeled entry cannot be served
+        # under a key it does not own.
+        spec = dict(spec)
+        if "dims" in spec:
+            spec["dims"] = tuple(spec["dims"])
+        expected = dict(spec)
+        expected.pop("solver_mode", None)
+        expected.pop("faults", None)
+        if query_key(expected) != key:
+            return False
+        self._entries[key] = (record["digest"], data, expected)
+        return True
+
+    # -- serving ----------------------------------------------------------
+    def get(self, key: str) -> Optional[CachedAnswer]:
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        digest, data, spec = entry
+        try:
+            result = _restricted_loads(data)
+        except Exception:
+            del self._entries[key]
+            self.dropped += 1
+            return None
+        return CachedAnswer(result=result, digest=digest, spec=spec)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- storing ----------------------------------------------------------
+    def put(self, key: str, answer: CachedAnswer) -> None:
+        data = pickle.dumps(answer.result, protocol=_PICKLE_PROTOCOL)
+        spec = dict(answer.spec)
+        spec["solver_mode"] = resolve_solver_config().mode
+        spec["faults"] = None
+        record = {
+            "kind": "result",
+            "key": key,
+            "spec": spec,
+            "digest": hashlib.sha256(data).hexdigest(),
+            "data": base64.b64encode(data).decode("ascii"),
+        }
+        mode = "a" if self._header_written else "w"
+        with open(self.path, mode) as handle:
+            if not self._header_written:
+                json.dump({
+                    "kind": "header",
+                    "version": DISK_CACHE_VERSION,
+                    "git_rev": git_revision(),
+                }, handle, sort_keys=True, separators=(",", ":"))
+                handle.write("\n")
+                self._header_written = True
+            json.dump(record, handle, sort_keys=True, separators=(",", ":"))
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._entries[key] = (
+            record["digest"], base64.b64decode(record["data"]), answer.spec,
+        )
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "entries": len(self._entries),
+            "loaded": self.loaded,
+            "dropped": self.dropped,
+            "stale_git_rev": self.stale_git_rev,
+        }
+
+
+#: modules/classes the disk cache's unpickler will construct — results
+#: are CollectiveResult + RunManifest + builtin containers, nothing else
+_UNPICKLE_ALLOWED = {
+    ("repro.collectives.base", "CollectiveResult"),
+    ("repro.telemetry.manifest", "RunManifest"),
+}
+
+
+class _RestrictedUnpickler(pickle.Unpickler):
+    """Unpickler for on-disk cache payloads: result types only.
+
+    A serve cache file lives on disk between runs; refusing arbitrary
+    globals keeps a doctored file from escalating a cache read into code
+    execution (the farm accepts this risk on its *authenticated* wire;
+    an unauthenticated file on disk should not).
+    """
+
+    def find_class(self, module, name):
+        if (module, name) in _UNPICKLE_ALLOWED:
+            return super().find_class(module, name)
+        raise pickle.UnpicklingError(
+            f"serve cache payloads may not reference {module}.{name}"
+        )
+
+
+def _restricted_loads(data: bytes):
+    return _RestrictedUnpickler(io.BytesIO(data)).load()
+
+
+# -- stats ----------------------------------------------------------------
+
+def _percentile(samples: List[float], q: float) -> float:
+    """Nearest-rank percentile of a non-empty sorted sample list."""
+    rank = max(0, min(len(samples) - 1, int(round(q * (len(samples) - 1)))))
+    return samples[rank]
+
+
+@dataclass
+class ServiceStats:
+    """Observable behaviour of the service: tier hits and latencies."""
+
+    tiers: Dict[str, int] = field(default_factory=lambda: {
+        "analytic": 0, "memo": 0, "disk": 0, "warm": 0, "cold": 0,
+        "batch": 0,
+    })
+    coalesced: int = 0
+    errors: int = 0
+    requests: Dict[str, int] = field(default_factory=dict)
+    latencies_s: List[float] = field(default_factory=list)
+
+    def record_tier(self, tier: str) -> None:
+        self.tiers[tier] = self.tiers.get(tier, 0) + 1
+
+    def record_request(self, op: str) -> None:
+        self.requests[op] = self.requests.get(op, 0) + 1
+
+    def record_latency(self, seconds: float) -> None:
+        self.latencies_s.append(seconds)
+        if len(self.latencies_s) > _LATENCY_WINDOW:
+            del self.latencies_s[: len(self.latencies_s) - _LATENCY_WINDOW]
+
+    def latency_summary(self) -> Dict[str, float]:
+        if not self.latencies_s:
+            return {"count": 0}
+        ordered = sorted(self.latencies_s)
+        return {
+            "count": len(ordered),
+            "p50_ms": round(_percentile(ordered, 0.50) * 1e3, 3),
+            "p95_ms": round(_percentile(ordered, 0.95) * 1e3, 3),
+            "max_ms": round(ordered[-1] * 1e3, 3),
+            "mean_ms": round(sum(ordered) / len(ordered) * 1e3, 3),
+        }
+
+
+# -- the service ----------------------------------------------------------
+
+class PredictionService:
+    """Tier walker: memo -> disk -> (analytic | warm | cold) -> store.
+
+    ``use_pool=False`` builds a fresh machine per computation (the
+    benchmark's cold tier); ``max_memo``/``cache_path`` size the memo LRU
+    and enable the on-disk cache; ``analytic_default=True`` opts every
+    query into the analytic fast path unless it explicitly says
+    ``"analytic": false``.
+
+    The service itself is synchronous and runs one simulation at a time;
+    thread-safety of the *caches* is the caller's concern (the asyncio
+    server funnels every compute through a one-thread executor).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_memo: int = 1024,
+        max_machines: Optional[int] = None,
+        cache_path: Optional[str] = None,
+        use_pool: bool = True,
+        use_memo: bool = True,
+        analytic_default: bool = False,
+    ):
+        self.memo = MemoCache(max_memo)
+        self.disk = DiskCache(cache_path) if cache_path else None
+        self.pool = (
+            WarmMachinePool(max_machines)
+            if use_pool and max_machines is not None
+            else (WarmMachinePool() if use_pool else None)
+        )
+        self.use_memo = use_memo
+        self.analytic_default = analytic_default
+        self.stats = ServiceStats()
+        self.started_at = time.time()
+
+    # -- lookup (cheap; safe on the event-loop thread) --------------------
+    def normalize(self, request: dict) -> Tuple[dict, str]:
+        spec = normalize_query(request)
+        if self.analytic_default and "analytic" not in spec:
+            spec["analytic"] = True
+        return spec, query_key(spec)
+
+    def lookup(self, key: str) -> Optional[Tuple[CachedAnswer, str]]:
+        """A cached answer and the tier it came from, or None."""
+        if not self.use_memo:
+            return None
+        answer = self.memo.get(key)
+        if answer is not None:
+            return answer, "memo"
+        if self.disk is not None:
+            answer = self.disk.get(key)
+            if answer is not None:
+                # Promote: repeat queries stay O(dict) after a restart.
+                self.memo.put(key, answer)
+                return answer, "disk"
+        return None
+
+    # -- compute (expensive; the server calls this off-loop) --------------
+    def compute(self, spec: dict) -> Tuple[CachedAnswer, str]:
+        """Run the point through analytic/warm/cold; returns (answer, tier)."""
+        dims, mode = spec["dims"], spec["mode"]
+        wrap, network = spec["wrap"], spec["network"]
+        # A barrier installs no working set, so a pooled machine would
+        # leak the previous point's memory regime into it — always fresh
+        # (the same rule run_point applies).
+        if self.pool is not None and spec["family"] != "barrier":
+            machine, warm = self.pool.checkout(
+                dims, mode=mode, wrap=wrap, network=network,
+            )
+        else:
+            machine = Machine(
+                torus_dims=tuple(dims), mode=Mode[mode], wrap=wrap,
+                network=network,
+            )
+            warm = False
+        kwargs = {
+            key: spec[key]
+            for key in ("root", "iters", "seed", "window_caching",
+                        "steady_state", "analytic")
+            if key in spec
+        }
+        result = run_collective(
+            machine, spec["family"], spec["algorithm"], spec["x"], **kwargs
+        )
+        served_analytic = (
+            result.manifest is not None and result.manifest.analytic
+        )
+        tier = "analytic" if served_analytic else ("warm" if warm else "cold")
+        answer = CachedAnswer(
+            result=result, digest=pickle_digest(result), spec=spec,
+        )
+        return answer, tier
+
+    def store(self, key: str, answer: CachedAnswer) -> None:
+        if not self.use_memo:
+            return
+        self.memo.put(key, answer)
+        if self.disk is not None:
+            self.disk.put(key, answer)
+
+    # -- one-call convenience (benchmark, tests, serial callers) ----------
+    def serve(self, request: dict) -> dict:
+        """Normalize, look up, compute-and-store; returns the response dict."""
+        start = time.perf_counter()
+        spec, key = self.normalize(request)
+        cached = self.lookup(key)
+        if cached is not None:
+            answer, tier = cached
+        else:
+            answer, tier = self.compute(spec)
+            self.store(key, answer)
+        self.stats.record_tier(tier)
+        self.stats.record_latency(time.perf_counter() - start)
+        return answer_response(answer, tier, key)
+
+    # -- stats ------------------------------------------------------------
+    def stats_snapshot(self) -> dict:
+        total = sum(self.stats.tiers.values())
+        return {
+            "tiers": dict(self.stats.tiers),
+            "hit_rates": {
+                tier: (round(count / total, 4) if total else 0.0)
+                for tier, count in self.stats.tiers.items()
+            },
+            "coalesced": self.stats.coalesced,
+            "errors": self.stats.errors,
+            "requests": dict(self.stats.requests),
+            "memo": self.memo.stats() if self.use_memo else None,
+            "disk": self.disk.stats() if self.disk is not None else None,
+            "pool": self.pool.stats() if self.pool is not None else None,
+            "latency": self.stats.latency_summary(),
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "solver_mode": resolve_solver_config().mode,
+            "git_rev": git_revision(),
+        }
+
+
+def answer_response(answer: CachedAnswer, tier: str, key: str) -> dict:
+    """The JSON body of one served prediction."""
+    result = answer.result
+    manifest = result.manifest
+    return {
+        "ok": True,
+        "tier": tier,
+        "key": key,
+        "family": answer.spec["family"],
+        "algorithm": result.algorithm,
+        "x": answer.spec["x"],
+        "nbytes": result.nbytes,
+        "nprocs": result.nprocs,
+        "elapsed_us": result.elapsed_us,
+        "bandwidth_mbs": result.bandwidth_mbs,
+        "iterations_us": list(result.iterations_us),
+        "digest": answer.digest,
+        "manifest": manifest.to_dict() if manifest is not None else None,
+        "spec": {**answer.spec, "dims": list(answer.spec["dims"])},
+    }
+
+
+__all__ = [
+    "CachedAnswer",
+    "DiskCache",
+    "MemoCache",
+    "PredictionService",
+    "QueryError",
+    "ServiceStats",
+    "answer_response",
+    "normalize_query",
+    "query_key",
+    "UnsupportedTopologyError",
+]

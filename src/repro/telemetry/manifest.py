@@ -278,6 +278,49 @@ def bench_entry_solver(entry: dict) -> str:
     return "slowpath" if entry.get("slowpath") else "incremental"
 
 
+#: synthetic sweep name used when a label narrows to one sweep — both
+#: sides of the comparison get it, so differently-named sweeps of the
+#: same points (the serve entry's cold/warm/memo tiers) compare pointwise
+_SWEEP_VIEW = "<sweep>"
+
+
+def _bench_view(entries: dict, label: str) -> Tuple[Optional[dict],
+                                                    Optional[str]]:
+    """Resolve a gate label into a comparable entry (or an error string).
+
+    A plain label names a whole entry.  ``entry:sweep`` narrows to one
+    sweep of an entry, re-keyed under a synthetic common name — this is
+    how the serve benchmark gates its tiers against each other
+    (``--base serve:cold --new serve:memo``): same points, different
+    sweep names, recorded in one entry.  A sweep view's solver comes
+    from the sweep record itself (``"+analytic"`` appended when the fast
+    path served points there), so e.g. ``serve:analytic`` still refuses
+    to silently compare against a DES tier.
+    """
+    if label in entries:
+        return entries[label], None
+    entry_label, sep, sweep = label.partition(":")
+    if sep and entry_label in entries:
+        entry = entries[entry_label]
+        record = entry.get("sweeps", {}).get(sweep)
+        if record is None:
+            return None, (
+                f"entry {entry_label!r} has no sweep {sweep!r} "
+                f"(have: {sorted(entry.get('sweeps', {})) or 'none'})"
+            )
+        solver = record.get("solver") or bench_entry_solver(entry)
+        if record.get("analytic_hits"):
+            solver += "+analytic"
+        view = {key: value for key, value in entry.items()
+                if key != "sweeps"}
+        view["solver"] = solver
+        view["sweeps"] = {_SWEEP_VIEW: record}
+        return view, None
+    return None, (
+        f"BENCH entry {label!r} missing (have: {sorted(entries) or 'none'})"
+    )
+
+
 def compare_bench(bench: dict, base_label: str, new_label: str,
                   tolerance: float = DEFAULT_TOLERANCE,
                   allow_cross_solver: bool = False) -> List[str]:
@@ -285,6 +328,12 @@ def compare_bench(bench: dict, base_label: str, new_label: str,
 
     Compares the *simulated* microseconds of every shared sweep point
     (wall-clock seconds are host noise and are never gated).
+
+    A label is either an entry name or ``entry:sweep`` — the latter
+    narrows the gate to one sweep, letting two sweeps *of the same
+    entry* be compared pointwise (see :func:`_bench_view`; the serve
+    benchmark's ``serve:cold`` vs ``serve:memo`` bit-identity gate runs
+    through this with ``tolerance=0``).
 
     Entries recorded under different solver configurations (incremental
     vs vectorized vs slowpath, analytic fast path on or off) are refused
@@ -295,15 +344,16 @@ def compare_bench(bench: dict, base_label: str, new_label: str,
     """
     entries = bench.get("entries", {})
     drifts: List[str] = []
+    views = {}
     for label in (base_label, new_label):
-        if label not in entries:
-            drifts.append(
-                f"BENCH entry {label!r} missing "
-                f"(have: {sorted(entries) or 'none'})"
-            )
+        view, error = _bench_view(entries, label)
+        if error is not None:
+            drifts.append(error)
+        else:
+            views[label] = view
     if drifts:
         return drifts
-    base, new = entries[base_label], entries[new_label]
+    base, new = views[base_label], views[new_label]
     if base.get("smoke") != new.get("smoke"):
         return [
             f"entries {base_label!r}/{new_label!r} recorded at different "

@@ -1,0 +1,584 @@
+"""The prediction service (``repro.serve``) and its serving tiers.
+
+The invariants under test mirror ``docs/serving.md``:
+
+* **bit-identity** — a warm-pool, memoized, or disk-cached answer is
+  byte-for-byte the cold serial harness's answer (same pickle digest),
+  across the three headline protocols;
+* **cache hygiene** — the on-disk cache refuses entries recorded at a
+  different git revision or with a tampered spec/payload (stale results
+  are refused, never silently served), and tolerates a torn trailing
+  write;
+* **coalescing** — concurrent duplicate queries provably collapse onto
+  one simulation;
+* **observability** — tier hit counters, pool occupancy and latency
+  percentiles reflect what actually happened.
+
+Everything runs in-process: servers bind ephemeral loopback ports and
+clients are threads, exactly like the farm tests.
+"""
+
+import base64
+import hashlib
+import json
+import pickle
+import threading
+import time
+
+import pytest
+
+from repro.bench.farm import pickle_digest
+from repro.bench.harness import run_collective
+from repro.bench.warmpool import WarmMachinePool
+from repro.hardware.machine import Machine, Mode
+from repro.serve.client import ServeClient, ServeRequestError, parse_address
+from repro.serve.server import start_background_server
+from repro.serve.service import (
+    DiskCache,
+    MemoCache,
+    PredictionService,
+    QueryError,
+    normalize_query,
+    query_key,
+)
+from repro.telemetry.manifest import compare_bench
+
+#: the paper's headline crossover protocols, at test-sized points
+HEADLINE = [
+    {"family": "bcast", "algorithm": "tree-shaddr", "x": 16384, "iters": 2},
+    {"family": "bcast", "algorithm": "torus-shaddr", "x": 32768, "iters": 2},
+    {"family": "allreduce", "algorithm": "allreduce-torus-shaddr",
+     "x": 2048, "iters": 2},
+]
+
+
+def _direct_digest(query: dict) -> str:
+    """The cold serial harness's answer for a query, as a pickle digest."""
+    machine = Machine(torus_dims=(2, 2, 2), mode=Mode.QUAD)
+    result = run_collective(
+        machine, query["family"], query["algorithm"], query["x"],
+        iters=query["iters"],
+    )
+    return pickle_digest(result)
+
+
+# -- warm machine pool ----------------------------------------------------
+
+class TestWarmMachinePool:
+    def test_checkout_reuses_per_geometry(self):
+        pool = WarmMachinePool()
+        first, warm_first = pool.checkout((2, 2, 2))
+        second, warm_second = pool.checkout((2, 2, 2))
+        assert not warm_first and warm_second
+        assert first is second
+        other, warm_other = pool.checkout((2, 2, 1))
+        assert not warm_other and other is not first
+
+    def test_keying_covers_mode_wrap_network(self):
+        pool = WarmMachinePool()
+        base, _ = pool.checkout((2, 2, 2))
+        assert pool.checkout((2, 2, 2), mode="SMP")[0] is not base
+        assert pool.checkout((2, 2, 2), wrap=False)[0] is not base
+        assert pool.checkout((2, 2, 2), network="fattree")[0] is not base
+        # Mode enum and its name are the same key.
+        assert pool.checkout((2, 2, 2), mode=Mode.QUAD)[0] is base
+
+    def test_lru_eviction_is_bounded(self):
+        pool = WarmMachinePool(max_machines=2)
+        a, _ = pool.checkout((2, 1, 1))
+        pool.checkout((2, 2, 1))
+        pool.checkout((2, 2, 2))  # evicts (2,1,1)
+        assert pool.occupancy() == 2
+        assert pool.evictions == 1
+        rebuilt, warm = pool.checkout((2, 1, 1))
+        assert not warm and rebuilt is not a
+
+    def test_stats_counters(self):
+        pool = WarmMachinePool()
+        pool.checkout((2, 2, 2))
+        pool.checkout((2, 2, 2))
+        stats = pool.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["machines"] == 1
+
+    def test_pooled_machine_results_bit_identical(self):
+        pool = WarmMachinePool()
+        query = HEADLINE[0]
+        machine, _ = pool.checkout((2, 2, 2))
+        run_collective(machine, "bcast", "tree-shaddr", 4096, iters=1)
+        reused, warm = pool.checkout((2, 2, 2))
+        assert warm
+        result = run_collective(
+            reused, query["family"], query["algorithm"], query["x"],
+            iters=query["iters"],
+        )
+        assert pickle_digest(result) == _direct_digest(query)
+
+
+# -- normalization and cache keys -----------------------------------------
+
+class TestNormalizeQuery:
+    def test_defaults_are_made_explicit(self):
+        spec = normalize_query({"family": "bcast", "algorithm": "tree-shaddr",
+                                "x": 4096})
+        assert spec["dims"] == (2, 2, 2)
+        assert spec["mode"] == "QUAD"
+        assert spec["seed"] == 1234 and spec["iters"] == 1
+        assert spec["wrap"] is True and spec["network"] == "torus"
+
+    def test_auto_resolves_through_selection_table(self):
+        short = normalize_query({"family": "bcast", "algorithm": "auto",
+                                 "x": 4096})
+        large = normalize_query({"family": "bcast", "algorithm": "auto",
+                                 "x": 4 * 1024 * 1024})
+        assert short["algorithm"] == "tree-shmem"
+        assert large["algorithm"] == "torus-shaddr"
+
+    def test_key_covers_every_identity_field(self):
+        base = {"family": "bcast", "algorithm": "tree-shaddr", "x": 4096}
+        key = query_key(normalize_query(base))
+        assert query_key(normalize_query(base)) == key  # stable
+        for variant in (
+            {"x": 8192}, {"seed": 7}, {"iters": 2}, {"mode": "SMP"},
+            {"dims": [2, 2, 1]}, {"algorithm": "tree-shmem"},
+        ):
+            other = query_key(normalize_query({**base, **variant}))
+            assert other != key, f"key ignored {variant}"
+
+    def test_refuses_unservable_fields(self):
+        base = {"family": "bcast", "algorithm": "tree-shaddr", "x": 4096}
+        for refused in (
+            {"verify": True}, {"deadline_us": 100.0},
+            {"faults": [{"kind": "x"}]}, {"fresh_machine": True},
+            {"bogus": 1},
+        ):
+            with pytest.raises(QueryError):
+                normalize_query({**base, **refused})
+
+    def test_refuses_unknown_family_and_bad_geometry(self):
+        with pytest.raises(QueryError):
+            normalize_query({"family": "nope", "x": 1})
+        with pytest.raises(QueryError):
+            normalize_query({"family": "bcast", "algorithm": "tree-shaddr",
+                             "x": 4096, "dims": [2, 2]})
+        with pytest.raises(QueryError):
+            normalize_query({"family": "bcast", "algorithm": "tree-shaddr",
+                             "x": 4096, "mode": "OCTO"})
+
+    def test_unknown_algorithm_surfaces_at_normalize_time(self):
+        with pytest.raises(KeyError):
+            normalize_query({"family": "bcast", "algorithm": "tree-shadr",
+                             "x": 4096})
+
+
+# -- the memo cache --------------------------------------------------------
+
+class TestMemoCache:
+    def test_lru_bound_and_counters(self):
+        cache = MemoCache(max_entries=2)
+        cache.put("a", "A")
+        cache.put("b", "B")
+        assert cache.get("a") == "A"  # refresh a
+        cache.put("c", "C")  # evicts b (LRU)
+        assert cache.get("b") is None
+        assert cache.get("a") == "A" and cache.get("c") == "C"
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["hits"] == 3 and stats["misses"] == 1
+
+
+# -- tier bit-identity -----------------------------------------------------
+
+class TestTierBitIdentity:
+    @pytest.mark.parametrize("query", HEADLINE,
+                             ids=[q["algorithm"] for q in HEADLINE])
+    def test_cold_warm_memo_identical_to_serial_harness(self, query):
+        expected = _direct_digest(query)
+
+        cold = PredictionService(use_pool=False, use_memo=False)
+        cold_response = cold.serve(query)
+        assert cold_response["tier"] == "cold"
+        assert cold_response["digest"] == expected
+
+        warm = PredictionService(use_memo=False)
+        # Prime the pool with a *different* point of the same geometry so
+        # the measured query really runs on a reused machine.
+        warm.serve({**query, "x": query["x"] // 2})
+        warm_response = warm.serve(query)
+        assert warm_response["tier"] == "warm"
+        assert warm_response["digest"] == expected
+
+        memo = PredictionService()
+        memo.serve(query)
+        memo_response = memo.serve(query)
+        assert memo_response["tier"] == "memo"
+        assert memo_response["digest"] == expected
+
+    def test_memo_hit_skips_computation(self, monkeypatch):
+        service = PredictionService()
+        calls = []
+        original = service.compute
+
+        def counting(spec):
+            calls.append(spec)
+            return original(spec)
+
+        monkeypatch.setattr(service, "compute", counting)
+        query = {"family": "bcast", "algorithm": "tree-shaddr", "x": 4096}
+        first = service.serve(query)
+        second = service.serve(query)
+        assert len(calls) == 1
+        assert second["tier"] == "memo"
+        assert second["digest"] == first["digest"]
+
+    def test_barrier_never_uses_the_pool(self):
+        service = PredictionService()
+        service.serve({"family": "bcast", "algorithm": "tree-shaddr",
+                       "x": 4096})
+        response = service.serve({"family": "barrier",
+                                  "algorithm": "barrier-gi", "x": 0})
+        # The pool holds a (2,2,2) machine, but a barrier must not reuse
+        # it (no working set installed) — it computes cold.
+        assert response["tier"] == "cold"
+
+
+# -- the on-disk cache -----------------------------------------------------
+
+class TestDiskCache:
+    QUERY = {"family": "bcast", "algorithm": "tree-shaddr", "x": 4096,
+             "iters": 2}
+
+    def _primed_cache(self, tmp_path):
+        path = str(tmp_path / "serve.cache")
+        service = PredictionService(cache_path=path)
+        response = service.serve(self.QUERY)
+        return path, response
+
+    def test_restart_serves_from_disk(self, tmp_path):
+        path, first = self._primed_cache(tmp_path)
+        restarted = PredictionService(cache_path=path)
+        assert restarted.disk.loaded == 1
+        response = restarted.serve(self.QUERY)
+        assert response["tier"] == "disk"
+        assert response["digest"] == first["digest"]
+        # Promotion: the second repeat is an in-memory hit.
+        assert restarted.serve(self.QUERY)["tier"] == "memo"
+
+    def test_git_rev_mismatch_refuses_all_entries(self, tmp_path, capsys):
+        path, _ = self._primed_cache(tmp_path)
+        lines = open(path).read().splitlines()
+        header = json.loads(lines[0])
+        header["git_rev"] = "0000000"
+        with open(path, "w") as handle:
+            handle.write("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        stale = DiskCache(path)
+        assert len(stale) == 0
+        assert stale.loaded == 0
+        assert stale.stale_git_rev == "0000000"
+        # A stale file is replaced on the next store, not appended to.
+        service = PredictionService(cache_path=path)
+        service.serve(self.QUERY)
+        assert DiskCache(path).loaded == 1
+
+    def test_tampered_spec_is_refused(self, tmp_path):
+        path, _ = self._primed_cache(tmp_path)
+        lines = open(path).read().splitlines()
+        entry = json.loads(lines[1])
+        entry["spec"]["x"] = 8192  # re-label the answer as another point
+        with open(path, "w") as handle:
+            handle.write("\n".join([lines[0], json.dumps(entry)]) + "\n")
+        cache = DiskCache(path)
+        assert len(cache) == 0 and cache.dropped == 1
+
+    def test_corrupt_payload_is_refused(self, tmp_path):
+        path, _ = self._primed_cache(tmp_path)
+        lines = open(path).read().splitlines()
+        entry = json.loads(lines[1])
+        data = bytearray(base64.b64decode(entry["data"]))
+        data[len(data) // 2] ^= 0xFF
+        entry["data"] = base64.b64encode(bytes(data)).decode("ascii")
+        with open(path, "w") as handle:
+            handle.write("\n".join([lines[0], json.dumps(entry)]) + "\n")
+        cache = DiskCache(path)
+        assert len(cache) == 0 and cache.dropped == 1
+
+    def test_torn_tail_is_dropped_not_fatal(self, tmp_path):
+        path, first = self._primed_cache(tmp_path)
+        with open(path, "a") as handle:
+            handle.write('{"kind": "result", "key": "torn')  # no newline
+        cache = DiskCache(path)
+        assert cache.loaded == 1 and cache.dropped == 1
+        service = PredictionService(cache_path=path)
+        assert service.serve(self.QUERY)["digest"] == first["digest"]
+
+    def test_unpickling_refuses_foreign_globals(self, tmp_path):
+        path, _ = self._primed_cache(tmp_path)
+        lines = open(path).read().splitlines()
+        entry = json.loads(lines[1])
+        # A doctored payload whose pickle references an arbitrary
+        # callable must not survive a cache read.
+        evil = pickle.dumps(print, protocol=4)
+        entry["data"] = base64.b64encode(evil).decode("ascii")
+        entry["digest"] = hashlib.sha256(evil).hexdigest()
+        with open(path, "w") as handle:
+            handle.write("\n".join([lines[0], json.dumps(entry)]) + "\n")
+        cache = DiskCache(path)
+        assert cache.get(entry["key"]) is None
+
+
+# -- the server: protocol, coalescing, sweep -------------------------------
+
+class TestServer:
+    def test_predict_select_sweep_roundtrip(self):
+        with start_background_server() as background:
+            with ServeClient(background.address) as client:
+                assert client.ping()
+                first = client.predict(**HEADLINE[0])
+                assert first["tier"] == "cold"
+                assert first["digest"] == _direct_digest(HEADLINE[0])
+                assert client.predict(**HEADLINE[0])["tier"] == "memo"
+
+                selection = client.select(
+                    family="bcast", x=16384, iters=2,
+                    candidates=["tree-shaddr", "tree-shmem"],
+                )
+                assert selection["selected"] in ("tree-shaddr", "tree-shmem")
+                assert selection["table_choice"] == "tree-shaddr"
+                assert len(selection["candidates"]) == 2
+                # tree-shaddr was measured through the memo tier.
+                tiers = {entry["algorithm"]: entry["tier"]
+                         for entry in selection["candidates"]}
+                assert tiers["tree-shaddr"] == "memo"
+
+                sweep = client.sweep([
+                    HEADLINE[0],                      # cached -> memo
+                    {**HEADLINE[0], "x": 2048},       # computed in batch
+                    HEADLINE[0],                      # duplicate -> memo
+                ])
+                tiers = [point["tier"] for point in sweep["points"]]
+                assert tiers == ["memo", "batch", "memo"]
+                assert (sweep["points"][0]["digest"]
+                        == sweep["points"][2]["digest"])
+
+                stats = client.stats()
+                assert stats["tiers"]["memo"] >= 2
+                assert stats["latency"]["count"] >= 4
+                assert stats["server"]["inflight"] == 0
+
+    def test_sweep_batch_answers_bit_identical(self):
+        with start_background_server() as background:
+            with ServeClient(background.address) as client:
+                sweep = client.sweep(list(HEADLINE))
+                for query, point in zip(HEADLINE, sweep["points"]):
+                    assert point["tier"] == "batch"
+                    assert point["digest"] == _direct_digest(query)
+
+    def test_malformed_queries_are_refused_not_fatal(self):
+        with start_background_server() as background:
+            with ServeClient(background.address) as client:
+                with pytest.raises(ServeRequestError):
+                    client.predict(family="nope", x=1)
+                with pytest.raises(ServeRequestError):
+                    client.predict(family="bcast", algorithm="tree-shaddr",
+                                   x=4096, verify=True)
+                with pytest.raises(ServeRequestError):
+                    client.request({"op": "no-such-op"})
+                # The connection and server both survive.
+                assert client.ping()
+                stats = client.stats()
+                assert stats["errors"] == 3
+
+    def test_concurrent_duplicates_coalesce_to_one_simulation(self):
+        service = PredictionService()
+        calls = []
+        release = threading.Event()
+        original = service.compute
+
+        def gated(spec):
+            calls.append(spec)
+            assert release.wait(timeout=30), "coalescing test never released"
+            return original(spec)
+
+        service.compute = gated
+        query = {"family": "bcast", "algorithm": "tree-shaddr", "x": 4096,
+                 "iters": 2}
+        responses = []
+
+        def ask():
+            with ServeClient(background.address) as client:
+                responses.append(client.predict(**query))
+
+        with start_background_server(service) as background:
+            threads = [threading.Thread(target=ask) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            # stats runs on the event loop, so it stays answerable while
+            # the compute thread is gated: wait until both riders have
+            # provably coalesced onto the in-flight future.
+            with ServeClient(background.address) as observer:
+                deadline = time.time() + 30
+                while time.time() < deadline:
+                    if observer.stats()["coalesced"] == 2:
+                        break
+                    time.sleep(0.01)
+                else:
+                    release.set()
+                    pytest.fail("riders never coalesced")
+                release.set()
+                for thread in threads:
+                    thread.join(timeout=30)
+                stats = observer.stats()
+
+        assert len(calls) == 1, "duplicates ran extra simulations"
+        assert stats["coalesced"] == 2
+        assert stats["tiers"]["cold"] == 1
+        assert len({r["digest"] for r in responses}) == 1
+        assert sorted(bool(r.get("coalesced")) for r in responses) == [
+            False, True, True,
+        ]
+
+    def test_analytic_tier_opt_in(self):
+        service = PredictionService(analytic_default=True, use_memo=False)
+        with start_background_server(service) as background:
+            with ServeClient(background.address) as client:
+                served = client.predict(family="bcast",
+                                        algorithm="tree-shaddr",
+                                        x=65536, iters=2)
+                # An explicit opt-out must override the server default.
+                des = client.predict(family="bcast", algorithm="tree-shaddr",
+                                     x=65536, iters=2, analytic=False)
+        assert served["tier"] == "analytic"
+        assert des["tier"] in ("cold", "warm")
+        assert served["elapsed_us"] == pytest.approx(
+            des["elapsed_us"], rel=5e-3,
+        )
+
+
+# -- client ----------------------------------------------------------------
+
+class TestClient:
+    def test_parse_address(self):
+        assert parse_address("localhost:8766") == ("localhost", 8766)
+        assert parse_address(("h", 1)) == ("h", 1)
+        with pytest.raises(ValueError):
+            parse_address("no-port")
+        with pytest.raises(ValueError):
+            parse_address("host:not-a-number")
+
+    def test_reconnect_after_server_restart(self, tmp_path):
+        cache = str(tmp_path / "serve.cache")
+        query = {"family": "bcast", "algorithm": "tree-shaddr", "x": 4096,
+                 "iters": 2}
+        first_server = start_background_server(
+            PredictionService(cache_path=cache),
+        )
+        host, port = first_server.address
+        client = ServeClient((host, port))
+        first = client.predict(**query)
+        first_server.stop()
+        # Same port, fresh process state: the persistent cache answers
+        # without re-simulating, and the client reconnects transparently.
+        second_server = start_background_server(
+            PredictionService(cache_path=cache), port=port,
+        )
+        try:
+            response = client.predict(**query)
+        finally:
+            client.close()
+            second_server.stop()
+        assert response["tier"] == "disk"
+        assert response["digest"] == first["digest"]
+
+
+# -- the check-bench entry:sweep views -------------------------------------
+
+class TestBenchSweepViews:
+    def _bench(self):
+        points = [{"x": 4096, "elapsed_us": 100.0},
+                  {"x": 8192, "elapsed_us": 200.0}]
+        return {"entries": {"serve": {
+            "smoke": False,
+            "solver": "vectorized",
+            "sweeps": {
+                "cold": {"solver": "vectorized", "analytic_hits": 0,
+                         "points": [dict(p) for p in points]},
+                "memo": {"solver": "vectorized", "analytic_hits": 0,
+                         "points": [dict(p) for p in points]},
+                "analytic": {"solver": "vectorized", "analytic_hits": 2,
+                             "points": [dict(p) for p in points]},
+            },
+        }}}
+
+    def test_identical_sweeps_gate_clean_at_zero_tolerance(self):
+        assert compare_bench(self._bench(), "serve:cold", "serve:memo",
+                             tolerance=0.0) == []
+
+    def test_drift_between_sweeps_is_reported(self):
+        bench = self._bench()
+        bench["entries"]["serve"]["sweeps"]["memo"]["points"][1][
+            "elapsed_us"] = 201.0
+        drifts = compare_bench(bench, "serve:cold", "serve:memo",
+                               tolerance=0.0)
+        assert len(drifts) == 1 and "x=8192" in drifts[0]
+
+    def test_analytic_sweep_refused_without_cross_solver(self):
+        drifts = compare_bench(self._bench(), "serve:cold", "serve:analytic",
+                               tolerance=0.0)
+        assert drifts and "different solvers" in drifts[0]
+        assert compare_bench(self._bench(), "serve:cold", "serve:analytic",
+                             tolerance=0.0, allow_cross_solver=True) == []
+
+    def test_unknown_sweep_label_is_an_error(self):
+        drifts = compare_bench(self._bench(), "serve:cold", "serve:nope")
+        assert drifts and "no sweep 'nope'" in drifts[0]
+
+    def test_plain_entry_labels_still_work(self):
+        bench = self._bench()
+        bench["entries"]["other"] = json.loads(
+            json.dumps(bench["entries"]["serve"]),
+        )
+        assert compare_bench(bench, "serve", "other", tolerance=0.0) == []
+
+
+# -- CLI -------------------------------------------------------------------
+
+class TestServeCli:
+    def test_query_and_stats_commands(self, capsys):
+        from repro.cli import main as cli_main
+
+        with start_background_server() as background:
+            host, port = background.address
+            address = f"{host}:{port}"
+            status = cli_main([
+                "query", address, "--family", "bcast",
+                "--algorithm", "tree-shaddr", "--size", "4K", "--iters", "2",
+            ])
+            assert status == 0
+            response = json.loads(capsys.readouterr().out)
+            assert response["tier"] == "cold" and response["x"] == 4096
+
+            status = cli_main(["query", address, "--op", "ping"])
+            assert status == 0
+            assert json.loads(capsys.readouterr().out)["pong"] is True
+
+            # A refused query is exit 1, not a traceback.
+            status = cli_main([
+                "query", address, "--family", "bcast",
+                "--algorithm", "tree-shaddr", "--size", "4K",
+                "--json", '{"op": "predict", "family": "bogus", "x": 1}',
+            ])
+            assert status == 1
+            assert "refused" in capsys.readouterr().err
+
+            status = cli_main(["serve", "--stats", address])
+            assert status == 0
+            stats = json.loads(capsys.readouterr().out)
+            assert stats["tiers"]["cold"] == 1
+
+    def test_query_unreachable_server_is_exit_2(self, capsys):
+        from repro.cli import main as cli_main
+
+        status = cli_main(["query", "127.0.0.1:1", "--op", "ping",
+                           "--timeout", "2"])
+        assert status == 2
+        assert "cannot reach" in capsys.readouterr().err
