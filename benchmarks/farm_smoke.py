@@ -15,8 +15,10 @@ handy local sanity check).  The script:
 5. asserts the farm-merged ``BENCH_robustness.json`` campaign report is
    **byte-identical** to the serial one, that the farm counted exactly
    one lost worker and one resume, then records the robustness rollups
-   as a ``farm-smoke`` bench entry and gates it against itself with
-   ``repro report --check-bench`` (shape/solver-tag sanity).
+   as a ``farm-smoke`` bench entry (metrics snapshot included) and
+   gates it against itself with ``repro report --check-bench
+   --tolerance 0`` (shape/solver-tag sanity; the metrics key must be
+   gate-invisible).
 
 Run it from the repo root::
 
@@ -203,14 +205,21 @@ def main(argv=None) -> int:
               "--label", "farm-smoke"], stdout=subprocess.DEVNULL)
         _run(["farm", "status", address, "--bench", farm_out,
               "--label", "farm-smoke-replay"], stdout=subprocess.DEVNULL)
+        # Two recordings of one settled campaign must agree *exactly* —
+        # the metrics snapshot riding in the entry is gate-invisible
+        # (the gate reads only smoke/solver/sweeps).
         _run(["report", "--check-bench", farm_out,
-              "--base", "farm-smoke", "--new", "farm-smoke-replay"])
+              "--base", "farm-smoke", "--new", "farm-smoke-replay",
+              "--tolerance", "0"])
         # The entry rode along INSIDE the campaign report without
         # disturbing the campaign bytes themselves.
         with open(farm_out) as handle:
             merged = json.load(handle)
         assert merged["summary"] == json.loads(serial_bytes)["summary"]
         assert "farm-smoke" in merged["entries"]
+        assert "metrics" in merged["entries"]["farm-smoke"], (
+            "farm status --bench did not capture the metrics snapshot"
+        )
 
         # Gate this drill's deterministic rollups against the committed
         # baseline: the drill always loses exactly one worker, resumes

@@ -11,9 +11,13 @@ sanity check).  The script:
 3. computes the same point through the **in-process serial harness**
    and asserts the served digest is byte-identical to it;
 4. checks ``repro serve --stats`` reports the tier counters;
-5. SIGTERMs the server, restarts it on the same cache, and asserts the
+5. scrapes the ``--metrics-port`` Prometheus endpoint mid-drill and
+   asserts the ``serve_tier_answers_total`` counters equal the
+   ``--stats`` snapshot exactly (exposition and stats are synced from
+   one locked snapshot — see docs/observability.md);
+6. SIGTERMs the server, restarts it on the same cache, and asserts the
    repeat query is served from **disk** without re-simulating;
-6. runs the serve QPS benchmark in smoke mode (which itself refuses to
+7. runs the serve QPS benchmark in smoke mode (which itself refuses to
    record unless memoized >= 100x cold and all tiers are bit-identical)
    and gates the recorded entry with ``repro report --check-bench
    --base ci-serve:cold --new ci-serve:memo --tolerance 0`` (and
@@ -40,6 +44,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 from repro.serve.client import query_server  # noqa: E402
+from repro.telemetry.runtime import parse_prometheus  # noqa: E402
 
 QUERY_ARGS = ["--family", "bcast", "--algorithm", "tree-shaddr",
               "--size", "64K", "--iters", "2"]
@@ -87,10 +92,14 @@ def _wait_for_server(address, deadline_s=30.0):
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--port", type=int, default=8811)
+    parser.add_argument("--metrics-port", type=int, default=None,
+                        help="Prometheus endpoint port (default port+1)")
     parser.add_argument("--keep-dir", action="store_true",
                         help="leave the scratch directory behind")
     args = parser.parse_args(argv)
     address = f"127.0.0.1:{args.port}"
+    metrics_port = (args.metrics_port if args.metrics_port is not None
+                    else args.port + 1)
     scratch = tempfile.mkdtemp(prefix="serve_smoke_")
     cache = os.path.join(scratch, "serve.cache")
     bench_out = os.path.join(scratch, "bench.json")
@@ -98,19 +107,20 @@ def main(argv=None) -> int:
 
     def serve():
         proc = _spawn(["serve", "--host", "127.0.0.1",
-                       "--port", str(args.port), "--cache", cache])
+                       "--port", str(args.port), "--cache", cache,
+                       "--metrics-port", str(metrics_port)])
         procs.append(proc)
         return proc
 
     try:
-        print("[1/6] cold query through repro serve / repro query ...")
+        print("[1/7] cold query through repro serve / repro query ...")
         serve()
         _wait_for_server(address)
         cold = _query(QUERY_ARGS, address)
         assert cold["ok"] and cold["tier"] == "cold", cold["tier"]
         digest = cold["digest"]
 
-        print("[2/6] repeat query memoizes; select and sweep work ...")
+        print("[2/7] repeat query memoizes; select and sweep work ...")
         memo = _query(QUERY_ARGS, address)
         assert memo["tier"] == "memo", memo["tier"]
         assert memo["digest"] == digest, "memoized answer changed bytes"
@@ -138,7 +148,7 @@ def main(argv=None) -> int:
         assert tiers == ["memo", "batch"], tiers
         assert sweep["points"][0]["digest"] == digest, sweep
 
-        print("[3/6] served digest is byte-identical to the serial "
+        print("[3/7] served digest is byte-identical to the serial "
               "harness ...")
         from repro.bench.farm import pickle_digest
         from repro.bench.harness import run_collective
@@ -151,7 +161,7 @@ def main(argv=None) -> int:
             "served answer is NOT byte-identical to the serial harness"
         )
 
-        print("[4/6] repro serve --stats reports the tiers ...")
+        print("[4/7] repro serve --stats reports the tiers ...")
         stats_run = _run(["serve", "--stats", address],
                          stdout=subprocess.PIPE)
         stats = json.loads(stats_run.stdout)
@@ -161,7 +171,26 @@ def main(argv=None) -> int:
         assert stats["disk"]["entries"] >= 2, stats["disk"]
         assert stats["latency"]["count"] >= 4, stats["latency"]
 
-        print("[5/6] SIGTERM the server; restart serves warm from the "
+        print("[5/7] Prometheus scrape matches the --stats snapshot ...")
+        import urllib.request
+
+        with urllib.request.urlopen(
+                f"http://127.0.0.1:{metrics_port}/metrics",
+                timeout=10) as response:
+            assert response.headers["Content-Type"].startswith(
+                "text/plain"), response.headers["Content-Type"]
+            scraped = parse_prometheus(response.read().decode())
+        tier_counters = scraped.get("serve_tier_answers_total", {})
+        for tier, count in stats["tiers"].items():
+            assert tier_counters.get(f"tier={tier}", 0.0) == count, (
+                f"scraped {tier} counter {tier_counters} does not match "
+                f"--stats {stats['tiers']}"
+            )
+        assert scraped["serve_requests_total"].get("op=predict") == (
+            stats["requests"]["predict"]
+        ), scraped.get("serve_requests_total")
+
+        print("[6/7] SIGTERM the server; restart serves warm from the "
               "cache ...")
         server = procs[-1]
         server.send_signal(signal.SIGTERM)
@@ -180,7 +209,7 @@ def main(argv=None) -> int:
             "restart re-simulated a cached point: " + repr(stats["tiers"])
         )
 
-        print("[6/6] qps benchmark records and gates the serve entry ...")
+        print("[7/7] qps benchmark records and gates the serve entry ...")
         subprocess.run(
             [sys.executable, "-m", "repro.serve.bench", "--smoke",
              "--out", bench_out, "--label", "ci-serve"],

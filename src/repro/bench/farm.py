@@ -73,7 +73,6 @@ import json
 import os
 import pickle
 import socket
-import sys
 import threading
 import time
 import uuid
@@ -89,6 +88,15 @@ from repro.bench.parallel import (
 )
 from repro.hardware.fault_schedule import RetryPolicy
 from repro.telemetry.manifest import CampaignManifest
+from repro.telemetry.runtime import (
+    MetricsRegistry,
+    default_registry,
+    dump_flight_record,
+    new_span_id,
+    runtime_enabled,
+    runtime_log,
+    span_store,
+)
 
 #: shared-secret authkey for every farm connection
 ENV_AUTHKEY = "REPRO_FARM_AUTHKEY"
@@ -277,6 +285,11 @@ class JournalState:
     failures: Dict[int, str] = field(default_factory=dict)
     #: workers that lost a lease at any point in the campaign's life
     lost_workers: Set[str] = field(default_factory=set)
+    #: the driver's trace context, journaled with the campaign header so
+    #: chunk spans keep their trace id across a server restart
+    trace: Optional[dict] = None
+    #: worker-reported chunk spans journaled alongside completions
+    spans: List[dict] = field(default_factory=list)
     lease_expiries: int = 0
     resumes: int = 0
     torn_records: int = 0
@@ -387,6 +400,10 @@ class ProgressJournal:
                     if kind == "campaign":
                         if state.header is None:
                             state.header = record
+                            state.trace = record.get("trace")
+                    elif kind == "span":
+                        if isinstance(record.get("span"), dict):
+                            state.spans.append(record["span"])
                     elif kind == "point":
                         data = base64.b64decode(record["data"])
                         if hashlib.sha256(data).hexdigest() != record["digest"]:
@@ -463,6 +480,19 @@ class FarmServer:
         self.chunk_retry = chunk_retry
         self.chunk_size = chunk_size
         self.verbose = verbose
+        # --quiet maps to a warning-level logger: the historical
+        # verbose-gated "[farm] ..." lines are info events, so quiet
+        # servers stay quiet under every log mode.
+        self._logger = runtime_log(
+            "farm.server", prefix="farm",
+            level="info" if verbose else "warning",
+        )
+        self.registry = MetricsRegistry()
+        #: the submitting driver's trace context (journaled with the
+        #: campaign header; lease grants chain chunk spans under it)
+        self._trace: Optional[dict] = None
+        #: worker-reported chunk spans (journaled; returned by fetch)
+        self._spans: List[dict] = []
 
         self._lock = threading.RLock()
         self._listener: Optional[Listener] = None
@@ -555,9 +585,8 @@ class FarmServer:
     def __exit__(self, *exc_info) -> None:
         self.stop()
 
-    def _log(self, message: str) -> None:
-        if self.verbose:
-            print(f"[farm] {message}", file=sys.stderr, flush=True)
+    def _log(self, message: str, event: str = "log", **fields) -> None:
+        self._logger.info(event, message, legacy=True, **fields)
 
     # -- connection handling ---------------------------------------------
     def _accept_loop(self) -> None:
@@ -628,6 +657,10 @@ class FarmServer:
         manifest = CampaignManifest.from_dict(header["manifest"])
         self._results = dict(state.results)
         self._failures = dict(state.failures)
+        # The trace id survives the restart with the campaign; chunks
+        # re-leased after the resume chain fresh span ids under it.
+        self._trace = dict(state.trace) if state.trace else None
+        self._spans = [dict(span) for span in state.spans]
         self._install_campaign(
             manifest, header["specs"], header["task"], header.get("chunk"),
         )
@@ -647,16 +680,20 @@ class FarmServer:
             "git_rev": git_revision(),
         })
         if manifest.git_rev not in ("unknown", git_revision()):
-            print(
-                f"[farm] warning: journal {self.journal_path!r} was "
+            self._logger.warning(
+                "journal_git_rev_mismatch",
+                f"warning: journal {self.journal_path!r} was "
                 f"recorded at git rev {manifest.git_rev}, resuming at "
                 f"{git_revision()} — results may not be byte-identical",
-                file=sys.stderr,
+                legacy=True, journal=self.journal_path,
+                recorded_rev=manifest.git_rev, running_rev=git_revision(),
             )
         self._log(
             f"resumed campaign {manifest.spec_hash} "
             f"({len(self._results)}/{manifest.nspecs} points journaled, "
-            f"{state.torn_records} torn record(s) dropped)"
+            f"{state.torn_records} torn record(s) dropped)",
+            event="campaign_resumed", campaign=manifest.spec_hash,
+            journaled=len(self._results), torn=state.torn_records,
         )
 
     # -- internal helpers (lock held) ------------------------------------
@@ -692,7 +729,8 @@ class FarmServer:
             })
             self._log(
                 f"lease on chunk {chunk_id} expired (worker "
-                f"{lease.worker}); re-queueing"
+                f"{lease.worker}); re-queueing",
+                event="lease_expired", chunk=chunk_id, lost=lease.worker,
             )
             self._requeue(
                 chunk_id,
@@ -728,13 +766,69 @@ class FarmServer:
         self._log(
             f"chunk {chunk_id} quarantined after "
             f"{self._attempts[chunk_id]} attempt(s): "
-            f"{len(indices)} point(s) poisoned"
+            f"{len(indices)} point(s) poisoned",
+            event="chunk_quarantined", chunk=chunk_id,
+            attempts=self._attempts[chunk_id], poisoned=len(indices),
         )
+        dump_flight_record(
+            f"farm-quarantine: chunk {chunk_id}", component="farm.server",
+        )
+
+    # -- metrics ---------------------------------------------------------
+
+    #: FarmStats field -> (counter name, help): synced at exposition time
+    #: from the authoritative stats so a scrape always equals ``status``
+    _STAT_COUNTERS = {
+        "leases_issued": ("farm_leases_issued_total",
+                          "chunk leases granted to workers"),
+        "leases_expired": ("farm_leases_expired_total",
+                           "leases lost to missed heartbeats"),
+        "heartbeats": ("farm_heartbeats_total",
+                       "lease heartbeats received"),
+        "chunks_completed": ("farm_chunks_completed_total",
+                             "chunks fully settled"),
+        "chunks_retried": ("farm_chunks_retried_total",
+                           "chunks re-queued under the retry budget"),
+        "chunks_quarantined": ("farm_chunks_quarantined_total",
+                               "poison chunks quarantined"),
+        "points_completed": ("farm_points_completed_total",
+                             "points journaled complete"),
+        "duplicate_completions": ("farm_duplicate_completions_total",
+                                  "duplicate completions discarded"),
+        "digest_mismatches": ("farm_digest_mismatches_total",
+                              "determinism violations on duplicates"),
+        "workers_lost": ("farm_workers_lost_total",
+                         "workers that lost a lease"),
+        "resumes": ("farm_resumes_total",
+                    "journal resumes across server restarts"),
+        "torn_records": ("farm_torn_records_total",
+                         "torn journal records dropped on replay"),
+    }
+
+    def _sync_registry(self) -> None:
+        """Sync counters/gauges to the stats struct (lock held)."""
+        reg = self.registry
+        for fld, value in asdict(self.stats).items():
+            name, help_text = self._STAT_COUNTERS[fld]
+            reg.counter(name, help_text).set_total(value)
+        reg.gauge(
+            "farm_chunks_leased", "chunks currently leased out",
+        ).set(len(self._leases))
+        reg.gauge(
+            "farm_workers_seen", "distinct workers ever seen",
+        ).set(len(self._workers))
+        reg.gauge(
+            "farm_points_total", "points in the installed campaign",
+        ).set(len(self._specs))
+        reg.gauge(
+            "farm_points_covered", "points completed or quarantined",
+        ).set(len(self._results.keys() | self._failures.keys()))
 
     # -- RPC handlers ----------------------------------------------------
     def _op_submit(self, manifest: dict, specs: List[dict], task: str,
                    chunk_size: Optional[int] = None,
-                   worker: Optional[str] = None) -> dict:
+                   worker: Optional[str] = None,
+                   trace: Optional[dict] = None) -> dict:
         if task not in known_tasks():
             raise FarmError(
                 f"unknown farm task {task!r} (known: {known_tasks()})"
@@ -743,6 +837,9 @@ class FarmServer:
         with self._lock:
             if self.manifest is not None:
                 if submitted.spec_hash == self.manifest.spec_hash:
+                    # An attach keeps the original trace: the campaign's
+                    # identity (and its journaled span lineage) belongs
+                    # to the first submission.
                     return {
                         "campaign": self.manifest.spec_hash,
                         "attached": True,
@@ -755,16 +852,20 @@ class FarmServer:
                     f"{submitted.spec_hash!r} (one campaign per journal)"
                 )
             self._install_campaign(submitted, list(specs), task, chunk_size)
+            self._trace = dict(trace) if isinstance(trace, dict) else None
             self._journal.append({
                 "kind": "campaign",
                 "manifest": submitted.to_dict(),
                 "task": task,
                 "chunk": chunk_size or self.chunk_size,
                 "specs": [dict(spec) for spec in specs],
+                "trace": self._trace,
             })
             self._log(
                 f"campaign {submitted.spec_hash} submitted: "
-                f"{len(specs)} point(s), {len(self._chunks)} chunk(s)"
+                f"{len(specs)} point(s), {len(self._chunks)} chunk(s)",
+                event="campaign_submitted", campaign=submitted.spec_hash,
+                points=len(specs), chunks=len(self._chunks),
             )
             return {
                 "campaign": submitted.spec_hash,
@@ -791,12 +892,22 @@ class FarmServer:
                     worker=worker, deadline=now + self.lease_s
                 )
                 self.stats.leases_issued += 1
-                return {
+                grant = {
                     "chunk": chunk_id,
                     "task": self._task,
                     "points": points,
                     "lease_s": self.lease_s,
                 }
+                if self._trace is not None:
+                    # A fresh span id per *lease* — a chunk re-leased
+                    # after expiry gets a new span under the same trace,
+                    # so the exported timeline shows both attempts.
+                    grant["trace"] = {
+                        "trace_id": self._trace["trace_id"],
+                        "span_id": new_span_id(),
+                        "parent_span": self._trace.get("span_id"),
+                    }
+                return grant
             if self._campaign_done():
                 return {"done": True}
             # Everything is leased out: poll again around lease granularity.
@@ -812,10 +923,18 @@ class FarmServer:
             return {"ok": True}
 
     def _op_complete(self, worker: str, chunk: int,
-                     outcomes: List[Tuple[int, str, object]]) -> dict:
+                     outcomes: List[Tuple[int, str, object]],
+                     spans: Optional[List[dict]] = None) -> dict:
         with self._lock:
             if chunk not in self._chunks:
                 raise FarmError(f"unknown chunk {chunk}")
+            # Worker-reported chunk spans ride beside the completion and
+            # are journaled like every other campaign event, so a trace
+            # assembled after a resume still shows pre-crash chunks.
+            for span in spans or ():
+                if isinstance(span, dict) and span.get("trace_id"):
+                    self._spans.append(dict(span))
+                    self._journal.append({"kind": "span", "span": span})
             lease = self._leases.get(chunk)
             # Only the lease holder settles the lease (and, below, the
             # retry budget).  A stale completion — a worker whose lease
@@ -886,8 +1005,10 @@ class FarmServer:
     def _op_status(self, worker: Optional[str] = None) -> dict:
         with self._lock:
             self._reap()
+            self._sync_registry()
             now = time.monotonic()
             return {
+                "metrics": self.registry.snapshot(),
                 "campaign": (
                     None if self.manifest is None else self.manifest.to_dict()
                 ),
@@ -933,6 +1054,26 @@ class FarmServer:
                 "done": True,
                 "results": merged,
                 "merge_digest": digest.hexdigest(),
+                "spans": [dict(span) for span in self._spans],
+            }
+
+    def _op_metrics(self, worker: Optional[str] = None) -> dict:
+        """The synced metrics registry: structured + Prometheus text."""
+        with self._lock:
+            self._reap()
+            self._sync_registry()
+            return {
+                "metrics": self.registry.snapshot(),
+                "exposition": self.registry.dump_metrics(),
+            }
+
+    def _op_trace(self, worker: Optional[str] = None) -> dict:
+        """Worker-reported chunk spans accumulated by this campaign."""
+        with self._lock:
+            return {
+                "spans": [dict(span) for span in self._spans],
+                "trace": dict(self._trace) if self._trace else None,
+                "count": len(self._spans),
             }
 
     def _op_shutdown(self, worker: Optional[str] = None) -> dict:
@@ -969,11 +1110,13 @@ class FarmWorker:
         self.verbose = verbose
         self.chunks_computed = 0
         self.points_computed = 0
+        self._logger = runtime_log(
+            "farm.worker", prefix=self.worker_id,
+            level="info" if verbose else "warning",
+        )
 
-    def _log(self, message: str) -> None:
-        if self.verbose:
-            print(f"[{self.worker_id}] {message}", file=sys.stderr,
-                  flush=True)
+    def _log(self, message: str, event: str = "log", **fields) -> None:
+        self._logger.info(event, message, legacy=True, **fields)
 
     def run(self, *, max_chunks: Optional[int] = None,
             stop: Optional[threading.Event] = None) -> int:
@@ -1011,7 +1154,8 @@ class FarmWorker:
         chunk_id = grant["chunk"]
         lease_s = float(grant["lease_s"])
         points = [(int(index), spec) for index, spec in grant["points"]]
-        self._log(f"leased chunk {chunk_id} ({len(points)} point(s))")
+        self._log(f"leased chunk {chunk_id} ({len(points)} point(s))",
+                  event="chunk_leased", chunk=chunk_id, points=len(points))
         try:
             task = resolve_task(grant["task"])
         except FarmError as exc:
@@ -1030,6 +1174,7 @@ class FarmWorker:
             daemon=True,
         )
         heartbeat.start()
+        start_s = time.time()
         try:
             outcomes = _run_chunk(task, points)
         finally:
@@ -1037,19 +1182,55 @@ class FarmWorker:
             heartbeat.join(timeout=5.0)
         self.chunks_computed += 1
         self.points_computed += len(points)
-        self._complete(chunk_id, outcomes)
+        registry = default_registry()
+        registry.counter(
+            "farm_worker_chunks_total", "chunks computed by this worker",
+        ).inc()
+        registry.counter(
+            "farm_worker_points_total", "points computed by this worker",
+        ).inc(len(points))
+        spans = None
+        trace = grant.get("trace")
+        if isinstance(trace, dict) and runtime_enabled():
+            # The span id was minted server-side with the lease, so a
+            # re-leased chunk reports a distinct span under one trace id;
+            # wall-clock start/end lets the driver line this span up
+            # against its own serve/execute spans.
+            spans = [{
+                "trace_id": trace.get("trace_id"),
+                "span_id": trace.get("span_id") or new_span_id(),
+                "parent_id": trace.get("parent_span"),
+                "name": f"farm.chunk.{chunk_id}",
+                "component": "farm.worker",
+                "start_s": start_s,
+                "end_s": time.time(),
+                "attrs": {
+                    "worker": self.worker_id,
+                    "chunk": chunk_id,
+                    "points": len(points),
+                    "failed": sum(
+                        1 for _, status, _ in outcomes if status != "ok"
+                    ),
+                },
+            }]
+        self._complete(chunk_id, outcomes, spans=spans)
 
-    def _complete(self, chunk_id: int, outcomes: List[tuple]) -> None:
+    def _complete(self, chunk_id: int, outcomes: List[tuple],
+                  spans: Optional[List[dict]] = None) -> None:
+        payload = {"chunk": chunk_id, "outcomes": outcomes}
+        if spans is not None:
+            payload["spans"] = spans
         try:
             rpc_retry(
                 self.server, "complete", worker=self.worker_id,
-                chunk=chunk_id, outcomes=outcomes, policy=self.reconnect,
+                policy=self.reconnect, **payload,
             )
         except FarmUnreachableError:
             # Results undeliverable: drop them.  The lease expires and
             # the deterministic chunk is recomputed by whoever is left.
             self._log(
-                f"could not deliver chunk {chunk_id}; dropping results"
+                f"could not deliver chunk {chunk_id}; dropping results",
+                event="chunk_undeliverable", chunk=chunk_id,
             )
 
     def _heartbeat_loop(self, chunk_id: int, lease_s: float,
@@ -1068,6 +1249,11 @@ class FarmWorker:
 
 
 # -- driver --------------------------------------------------------------
+
+#: the driver's logger: its one legacy line (the local-fallback notice)
+#: always printed, so it is warning-level under the "[farm]" prefix
+_driver_log = runtime_log("farm.driver", prefix="farm")
+
 
 def resolve_chunk_size(chunk_size: Optional[int] = None) -> Optional[int]:
     """Explicit chunk size > ``REPRO_FARM_CHUNK`` > server default."""
@@ -1093,6 +1279,7 @@ def farm_execute_points(specs: Sequence[dict], *, farm: str,
                         local_fallback: Optional[bool] = None,
                         reconnect: RetryPolicy = DEFAULT_RECONNECT,
                         timeout_s: Optional[float] = None,
+                        trace_ctx: Optional[dict] = None,
                         ) -> List[object]:
     """Run specs on a farm; merged results identical to the local executor.
 
@@ -1139,22 +1326,32 @@ def farm_execute_points(specs: Sequence[dict], *, farm: str,
         local_fallback = os.environ.get(ENV_FARM_FALLBACK, "") == "1"
     specs = list(specs)
     manifest = CampaignManifest.build(name, specs)
+    submit_payload = {
+        "manifest": manifest.to_dict(), "specs": specs, "task": name,
+        "chunk_size": resolve_chunk_size(chunk_size),
+    }
+    # Trace context rides beside the campaign, never inside it: the
+    # manifest (and so the spec hash, the journal identity, and every
+    # journaled result byte) is computed from the bare specs above.
+    if trace_ctx is not None and runtime_enabled():
+        submit_payload["trace"] = {
+            "trace_id": trace_ctx.get("trace_id"),
+            "span_id": trace_ctx.get("span_id"),
+        }
     try:
-        rpc_retry(
-            farm, "submit", manifest=manifest.to_dict(), specs=specs,
-            task=name, chunk_size=resolve_chunk_size(chunk_size),
-            policy=reconnect,
-        )
+        rpc_retry(farm, "submit", policy=reconnect, **submit_payload)
     except FarmUnreachableError:
         if not local_fallback:
             raise
-        print(
-            f"[farm] server {farm} unreachable; falling back to the local "
+        _driver_log.warning(
+            "farm_local_fallback",
+            f"server {farm} unreachable; falling back to the local "
             f"executor (jobs={resolve_jobs(jobs)})",
-            file=sys.stderr,
+            legacy=True, farm=farm, jobs=resolve_jobs(jobs),
         )
         return execute_points(specs, jobs, task=task, on_error=on_error,
-                              farm="", timeout_s=timeout_s)
+                              farm="", timeout_s=timeout_s,
+                              trace_ctx=trace_ctx)
     covered = -1
     stall_deadline = None
     while True:
@@ -1176,6 +1373,11 @@ def farm_execute_points(specs: Sequence[dict], *, farm: str,
                     f"{farm} and resumable from its journal."
                 )
         time.sleep(poll_s)
+    if runtime_enabled() and payload.get("spans"):
+        # Chunk spans computed by remote workers land in this process's
+        # span store so one `repro trace --runtime` export shows the
+        # query fanning into farm chunks.
+        span_store().record_many(payload["spans"])
     results: List[object] = [None] * len(specs)
     failures: List[Tuple[int, str, bool]] = []
     for index, status, value in payload["results"]:
@@ -1260,6 +1462,11 @@ def record_farm_bench_entry(path: str, label: str, status: dict, *,
             },
         },
     }
+    # The registry snapshot rides along ungated: compare_bench reads
+    # only smoke/solver/sweeps, so entries with and without a metrics
+    # key gate identically and committed baselines keep their bytes.
+    if status.get("metrics") is not None:
+        entry["metrics"] = status["metrics"]
     try:
         with open(path) as handle:
             document = json.load(handle)

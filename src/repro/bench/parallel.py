@@ -77,6 +77,12 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.bench.warmpool import WarmMachinePool
 from repro.hardware.machine import Machine, Mode
+from repro.telemetry.runtime import (
+    default_registry,
+    dump_flight_record,
+    record_span,
+    span,
+)
 
 #: environment variable consulted when no explicit job count is given
 ENV_JOBS = "REPRO_JOBS"
@@ -291,6 +297,13 @@ def merge_failures(results: List[object],
     :meth:`ParallelExecutor.map` and the farm driver, so local and
     distributed failures surface identically.
     """
+    if failures:
+        registry = default_registry()
+        registry.counter(
+            "parallel_point_failures_total",
+            "points that failed in a worker (before any serial re-run)",
+        ).inc(len(failures))
+        dump_flight_record("point-failure", component="parallel")
     for index, worker_tb, rerunnable in sorted(failures):
         if on_error == "return":
             results[index] = PointFailure(index, worker_tb, spec=specs[index])
@@ -304,6 +317,10 @@ def merge_failures(results: List[object],
             )
         # Serial re-run: reproduces the failure with a real traceback
         # (or recovers the point if the failure does not reproduce).
+        default_registry().counter(
+            "parallel_serial_reruns_total",
+            "failed points re-run serially in the parent",
+        ).inc()
         try:
             results[index] = task(specs[index])
         except Exception as exc:
@@ -393,7 +410,8 @@ class ParallelExecutor:
 
     def map(self, task: Callable[[dict], object], specs: Sequence[dict],
             *, on_error: str = "raise",
-            timeout_s: Optional[float] = None) -> List[object]:
+            timeout_s: Optional[float] = None,
+            trace_ctx: Optional[dict] = None) -> List[object]:
         """Run ``task`` over ``specs``; results ordered by spec index.
 
         ``on_error='raise'``: a point that failed in its worker is re-run
@@ -420,12 +438,15 @@ class ParallelExecutor:
         timeout = resolve_timeout(timeout_s) if timeout_s is not None \
             else self.timeout_s
         pool = self._ensure_pool()
+        registry = default_registry()
         results: List[object] = [None] * len(specs)
         failures: List[Tuple[int, str, bool]] = []
-        chunk_of = {
-            pool.submit(_run_chunk, task, chunk): chunk
-            for chunk in self._chunks(specs)
-        }
+        chunk_of = {}
+        chunk_meta = {}
+        for position, chunk in enumerate(self._chunks(specs)):
+            future = pool.submit(_run_chunk, task, chunk)
+            chunk_of[future] = chunk
+            chunk_meta[future] = (position, time.time())
         pending = set(chunk_of)
         while pending:
             done, pending = wait(
@@ -434,6 +455,10 @@ class ParallelExecutor:
             if not done:
                 # No chunk finished within the window: the pool is wedged.
                 # Fail every outstanding point and put the pool down.
+                registry.counter(
+                    "parallel_chunk_timeouts_total",
+                    "chunks abandoned by the wall-clock stall timeout",
+                ).inc(len(pending))
                 for future in pending:
                     future.cancel()
                     for index, spec in chunk_of[future]:
@@ -448,11 +473,32 @@ class ParallelExecutor:
                 self._terminate_pool()
                 break
             for future in done:
+                chunk_ok = 0
                 for index, status, value in future.result():
                     if status == "ok":
                         results[index] = value
+                        chunk_ok += 1
                     else:
                         failures.append((index, value, True))
+                position, submitted_s = chunk_meta[future]
+                registry.counter(
+                    "parallel_chunks_completed_total",
+                    "chunks returned by local pool workers",
+                ).inc()
+                registry.counter(
+                    "parallel_points_completed_total",
+                    "points completed by local pool workers",
+                ).inc(chunk_ok)
+                # Chunk spans are timed parent-side (submit -> result):
+                # they bound queueing plus worker execution — the only
+                # window this process can observe without perturbing the
+                # worker.
+                record_span(
+                    "parallel.chunk", "parallel",
+                    submitted_s, time.time(), parent=trace_ctx,
+                    chunk=position, points=len(chunk_of[future]),
+                    failed=len(chunk_of[future]) - chunk_ok,
+                )
         return merge_failures(results, failures, specs, task, on_error)
 
     def _map_serial(self, task, specs, on_error) -> List[object]:
@@ -474,7 +520,8 @@ def execute_points(specs: Sequence[dict], jobs: Optional[int] = None,
                    *, task: Callable[[dict], object] = run_point,
                    on_error: str = "raise",
                    farm: Optional[str] = None,
-                   timeout_s: Optional[float] = None) -> List[object]:
+                   timeout_s: Optional[float] = None,
+                   trace_ctx: Optional[dict] = None) -> List[object]:
     """One-shot convenience: map ``task`` over ``specs`` with ``jobs`` workers.
 
     Serial (``jobs=1``) runs inline with **fresh machines per point** —
@@ -496,12 +543,32 @@ def execute_points(specs: Sequence[dict], jobs: Optional[int] = None,
 
         return farm_execute_points(
             specs, farm=farm, task=task, on_error=on_error, jobs=jobs,
-            timeout_s=timeout_s,
+            timeout_s=timeout_s, trace_ctx=trace_ctx,
         )
     resolved = resolve_jobs(jobs)
+    # The execute span exists only when a caller passed trace context —
+    # standalone sweeps stay traceless; a traced query (the serve sweep
+    # path) fans into per-chunk child spans under it.  Trace context
+    # never touches the specs themselves: cache keys, fingerprints and
+    # pickled results are byte-identical with tracing on or off.
+    if trace_ctx is not None:
+        trace_span = span(
+            "parallel.execute", "parallel", parent=trace_ctx,
+            points=len(specs), jobs=resolved,
+        )
+    else:
+        trace_span = None
     if resolved <= 1 or len(specs) <= 1:
         if task in (run_point, run_point_timed):
             specs = [{**spec, "fresh_machine": True} for spec in specs]
-        return ParallelExecutor(1).map(task, specs, on_error=on_error)
+        if trace_span is None:
+            return ParallelExecutor(1).map(task, specs, on_error=on_error)
+        with trace_span:
+            return ParallelExecutor(1).map(task, specs, on_error=on_error)
     with ParallelExecutor(resolved, timeout_s=timeout_s) as executor:
-        return executor.map(task, specs, on_error=on_error)
+        if trace_span is None:
+            return executor.map(task, specs, on_error=on_error)
+        with trace_span as sp:
+            return executor.map(
+                task, specs, on_error=on_error, trace_ctx=sp.ctx,
+            )

@@ -408,6 +408,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-telemetry", action="store_true",
         help="flow rows only: skip the role timelines and counter tracks",
     )
+    p.add_argument(
+        "--runtime", default=None, metavar="HOST:PORT",
+        help="instead of simulating: export a running prediction "
+             "server's runtime spans (serve/parallel/farm) as a Chrome "
+             "trace — see docs/observability.md",
+    )
     _add_machine_args(p)
 
     p = sub.add_parser(
@@ -504,6 +510,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the raw status payload as JSON instead of the summary",
     )
+    fp.add_argument(
+        "--metrics", action="store_true",
+        help="also print the server's metrics registry in Prometheus "
+             "text exposition format",
+    )
 
     p = sub.add_parser(
         "serve",
@@ -544,6 +555,11 @@ def build_parser() -> argparse.ArgumentParser:
              "hit rates, pool occupancy, coalesced count, latency "
              "percentiles)",
     )
+    p.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="also expose the metrics registry over HTTP in Prometheus "
+             "text format on this port (GET / or /metrics)",
+    )
     _add_jobs_arg(p)
     _add_farm_arg(p)
 
@@ -555,7 +571,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="prediction-server address")
     p.add_argument(
         "--op", default="predict",
-        choices=["predict", "select", "sweep", "stats", "ping", "shutdown"],
+        choices=["predict", "select", "sweep", "stats", "metrics",
+                 "trace", "ping", "shutdown"],
         help="request type (default predict)",
     )
     p.add_argument(
@@ -863,6 +880,16 @@ def _cmd_trace(args) -> int:
     from repro.sim.engine import Engine
     from repro.sim.tracing import write_chrome_trace
 
+    if args.runtime:
+        from repro.serve.client import query_server
+        from repro.telemetry.runtime import write_runtime_trace
+
+        response = query_server(args.runtime, {"op": "trace"})
+        spans = response.get("spans", [])
+        nevents = write_runtime_trace(spans, args.out)
+        print(f"{nevents} runtime span(s) written to {args.out}")
+        return 0
+
     engine = Engine(trace=True)
     machine = Machine(
         torus_dims=args.dims, mode=args.mode, engine=engine,
@@ -932,6 +959,9 @@ def _cmd_farm(args) -> int:
 
 def _cmd_farm_inner(args, farm_mod) -> int:
     if args.farm_command == "serve":
+        from repro.telemetry.runtime import install_excepthook
+
+        install_excepthook()
         server = farm_mod.FarmServer(
             host=args.host, port=args.port,
             journal_path=args.journal,
@@ -971,6 +1001,9 @@ def _cmd_farm_inner(args, farm_mod) -> int:
         print(json.dumps(status, indent=2, sort_keys=True))
     else:
         print(farm_mod.format_status(status))
+    if args.metrics:
+        metrics = farm_mod.rpc_retry(args.server, "metrics")
+        print(metrics["exposition"], end="")
     if args.bench:
         farm_mod.record_farm_bench_entry(args.bench, args.label, status)
         print(f"BENCH entry {args.label!r} written to {args.bench}")
@@ -991,6 +1024,9 @@ def _cmd_serve(args) -> int:
         print(json.dumps(response, indent=2, sort_keys=True))
         return 0
 
+    from repro.telemetry.runtime import install_excepthook, serve_metrics_http
+
+    install_excepthook()
     service = PredictionService(
         max_memo=args.memo,
         max_machines=args.pool,
@@ -1001,6 +1037,12 @@ def _cmd_serve(args) -> int:
         service, host=args.host, port=args.port,
         jobs=args.jobs, farm=args.farm,
     )
+    metrics_addr = None
+    if args.metrics_port is not None:
+        metrics_server = serve_metrics_http(
+            args.host, args.metrics_port, service.metrics_text
+        )
+        metrics_addr = "{}:{}".format(*metrics_server.server_address[:2])
 
     class _Announce:
         # run() calls .set() once the socket is accepting — the moment
@@ -1012,6 +1054,8 @@ def _cmd_serve(args) -> int:
                 extras.append(f"cache {args.cache}")
             if args.analytic:
                 extras.append("analytic default on")
+            if metrics_addr:
+                extras.append(f"metrics http://{metrics_addr}/metrics")
             suffix = f" ({', '.join(extras)})" if extras else ""
             print(f"prediction server on {host}:{port}{suffix}", flush=True)
 
@@ -1029,7 +1073,7 @@ def _cmd_query(args) -> int:
 
     if args.raw_json:
         payload = json.loads(args.raw_json)
-    elif args.op in ("stats", "ping", "shutdown"):
+    elif args.op in ("stats", "metrics", "trace", "ping", "shutdown"):
         payload = {"op": args.op}
     elif args.op == "sweep":
         if not args.points:

@@ -51,6 +51,7 @@ from repro.serve.service import (
     QueryError,
     answer_response,
 )
+from repro.telemetry.runtime import span, span_store
 
 #: largest accepted request line (a sweep of a few thousand points fits;
 #: anything bigger is a protocol error, not a memory grab)
@@ -184,11 +185,11 @@ class PredictionServer:
             response = await handler(self, request)
             response.setdefault("ok", True)
         except _CLIENT_ERRORS as exc:
-            self.service.stats.errors += 1
+            self.service.stats.record_error()
             response = {"ok": False, "error": str(exc),
                         "error_type": type(exc).__name__}
         except Exception as exc:  # never take the server down on one query
-            self.service.stats.errors += 1
+            self.service.stats.record_error()
             response = {"ok": False, "error": f"internal error: {exc}",
                         "error_type": type(exc).__name__}
         if request_id is not None:
@@ -199,7 +200,8 @@ class PredictionServer:
         return response
 
     # -- predict (with coalescing) ----------------------------------------
-    async def _compute_keyed(self, spec: dict, key: str
+    async def _compute_keyed(self, spec: dict, key: str,
+                             parent: Optional[dict] = None,
                              ) -> Tuple[CachedAnswer, str, bool]:
         """Compute (or join an in-flight computation of) one point.
 
@@ -208,15 +210,18 @@ class PredictionServer:
         """
         existing = self._inflight.get(key)
         if existing is not None:
-            self.service.stats.coalesced += 1
+            self.service.stats.record_coalesced()
             answer, tier = await asyncio.shield(existing)
             return answer, tier, True
         future: asyncio.Future = self._loop.create_future()
         self._inflight[key] = future
         try:
-            answer, tier = await self._loop.run_in_executor(
-                self._executor, self._compute_and_store, spec, key,
-            )
+            with span("serve.compute", "serve", parent=parent,
+                      key=key) as sp:
+                answer, tier = await self._loop.run_in_executor(
+                    self._executor, self._compute_and_store, spec, key,
+                )
+                sp.set(tier=tier)
             future.set_result((answer, tier))
             return answer, tier, False
         except Exception as exc:
@@ -232,18 +237,30 @@ class PredictionServer:
         self.service.store(key, answer)
         return answer, tier
 
-    async def _op_predict(self, request: dict) -> dict:
-        spec, key = self.service.normalize(request)
-        cached = self.service.lookup(key)
-        if cached is not None:
-            answer, tier = cached
-            coalesced = False
-        else:
-            answer, tier, coalesced = await self._compute_keyed(spec, key)
+    async def _op_predict(self, request: dict,
+                          parent: Optional[dict] = None) -> dict:
+        start = time.perf_counter()
+        with span("serve.predict", "serve", parent=parent,
+                  family=request.get("family"),
+                  algorithm=request.get("algorithm", "auto"),
+                  x=request.get("x")) as sp:
+            spec, key = self.service.normalize(request)
+            cached = self.service.lookup(key)
+            if cached is not None:
+                answer, tier = cached
+                coalesced = False
+            else:
+                answer, tier, coalesced = await self._compute_keyed(
+                    spec, key, parent=sp.ctx,
+                )
+            sp.set(tier=tier, coalesced=coalesced)
         # Tier counters track real lookups/computations; riders on an
         # in-flight compute are counted by ``stats.coalesced`` alone.
         if not coalesced:
             self.service.stats.record_tier(tier)
+            self.service.stats.record_tier_latency(
+                time.perf_counter() - start, tier,
+            )
         response = answer_response(answer, tier, key)
         if coalesced:
             response["coalesced"] = True
@@ -303,9 +320,13 @@ class PredictionServer:
         points = request.get("points")
         if not isinstance(points, list) or not points:
             raise QueryError("sweep requires a non-empty 'points' list")
+        with span("serve.sweep", "serve", points=len(points)) as query_sp:
+            return await self._sweep_inner(request, points, query_sp)
+
+    async def _sweep_inner(self, request: dict, points: List[dict],
+                           query_sp) -> dict:
         normalized = [self.service.normalize(point) for point in points]
-        self.service.stats.record_request("sweep_points")
-        self.service.stats.requests["sweep_points"] += len(points) - 1
+        self.service.stats.record_request("sweep_points", len(points))
 
         # Partition: cached / riding an in-flight compute / to-batch.
         # Duplicate keys inside the sweep batch once, too.
@@ -323,7 +344,7 @@ class PredictionServer:
                 continue
             existing = self._inflight.get(key)
             if existing is not None:
-                self.service.stats.coalesced += 1
+                self.service.stats.record_coalesced()
                 riders.append((position, existing))
                 continue
             if key not in compute_index:
@@ -332,14 +353,20 @@ class PredictionServer:
                 future = self._loop.create_future()
                 self._inflight[key] = future
             members.setdefault(key, []).append(position)
+        query_sp.set(cached=len(points) - len(riders) - len(to_compute),
+                     riders=len(riders), computed=len(to_compute))
 
         try:
             if to_compute:
-                batch = await self._loop.run_in_executor(
-                    self._executor, self._run_batch,
-                    [spec for _, spec in to_compute],
-                    request.get("jobs"),
-                )
+                with span("serve.sweep.batch", "serve",
+                          parent=query_sp.ctx,
+                          points=len(to_compute)) as batch_sp:
+                    batch = await self._loop.run_in_executor(
+                        self._executor, self._run_batch,
+                        [spec for _, spec in to_compute],
+                        request.get("jobs"),
+                        batch_sp.ctx,
+                    )
                 for (key, spec), answer in zip(to_compute, batch):
                     self.service.store(key, answer)
                     manifest = answer.result.manifest
@@ -372,13 +399,15 @@ class PredictionServer:
             responses[position]["coalesced"] = True
         return {"points": responses, "count": len(responses)}
 
-    def _run_batch(self, specs: List[dict],
-                   jobs: Optional[int]) -> List[CachedAnswer]:
+    def _run_batch(self, specs: List[dict], jobs: Optional[int],
+                   trace_ctx: Optional[dict] = None) -> List[CachedAnswer]:
         """Fan a sweep's cache misses through the shared point executor."""
         from repro.bench.farm import pickle_digest
 
         effective = jobs if jobs is not None else self.jobs
-        results = execute_points(specs, jobs=effective, farm=self.farm)
+        results = execute_points(
+            specs, jobs=effective, farm=self.farm, trace_ctx=trace_ctx,
+        )
         return [
             CachedAnswer(result=result, digest=pickle_digest(result),
                          spec=spec)
@@ -396,6 +425,18 @@ class PredictionServer:
         }
         return snapshot
 
+    async def _op_metrics(self, request: dict) -> dict:
+        """The synced metrics registry: structured + Prometheus text."""
+        return {
+            "metrics": self.service.metrics_snapshot(),
+            "exposition": self.service.metrics_text(),
+        }
+
+    async def _op_trace(self, request: dict) -> dict:
+        """Finished runtime spans from this process's span store."""
+        spans = span_store().snapshot()
+        return {"spans": spans, "count": len(spans)}
+
     async def _op_ping(self, request: dict) -> dict:
         return {"pong": True}
 
@@ -407,6 +448,8 @@ class PredictionServer:
         "select": _op_select,
         "sweep": _op_sweep,
         "stats": _op_stats,
+        "metrics": _op_metrics,
+        "trace": _op_trace,
         "ping": _op_ping,
         "shutdown": _op_shutdown,
     }

@@ -50,7 +50,7 @@ import io
 import json
 import os
 import pickle
-import sys
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -67,6 +67,7 @@ from repro.hardware.machine import Machine, Mode
 from repro.hardware.network import UnsupportedTopologyError, known_backends
 from repro.sim.config import resolve_solver_config
 from repro.telemetry.manifest import git_revision, spec_fingerprint
+from repro.telemetry.runtime import MetricsRegistry, runtime_log, span
 
 #: pinned (with the farm's pickle protocol) so cache payloads written by
 #: one process byte-compare in another
@@ -80,6 +81,10 @@ DISK_CACHE_VERSION = 1
 
 #: service latency samples kept for the p50/p95 stats (ring buffer)
 _LATENCY_WINDOW = 2048
+
+#: structured logger for cache lifecycle events (bare messages: these
+#: lines predate the runtime plane and keep their historical shape)
+_cache_log = runtime_log("serve.cache")
 
 
 class QueryError(ValueError):
@@ -334,14 +339,23 @@ class DiskCache:
             header = json.loads(lines[0])
             assert header.get("kind") == "header"
         except (ValueError, AssertionError):
-            print(f"serve cache {self.path}: unreadable header; refusing "
-                  f"the whole file", file=sys.stderr)
+            _cache_log.warning(
+                "cache_header_unreadable",
+                f"serve cache {self.path}: unreadable header; refusing "
+                f"the whole file",
+                legacy=True, path=self.path, dropped=len(lines),
+            )
             self.dropped += len(lines)
             return
         if header.get("version") != DISK_CACHE_VERSION:
-            print(f"serve cache {self.path}: version "
-                  f"{header.get('version')!r} != {DISK_CACHE_VERSION}; "
-                  f"refusing the whole file", file=sys.stderr)
+            _cache_log.warning(
+                "cache_version_mismatch",
+                f"serve cache {self.path}: version "
+                f"{header.get('version')!r} != {DISK_CACHE_VERSION}; "
+                f"refusing the whole file",
+                legacy=True, path=self.path,
+                found=header.get("version"), expected=DISK_CACHE_VERSION,
+            )
             self.dropped += len(lines) - 1
             return
         rev = git_revision()
@@ -350,10 +364,14 @@ class DiskCache:
             # recorded by other code may not be byte-identical to ours.
             self.stale_git_rev = header.get("git_rev")
             self.dropped += len(lines) - 1
-            print(
+            _cache_log.warning(
+                "cache_stale_git_rev",
                 f"serve cache {self.path}: recorded at git rev "
                 f"{self.stale_git_rev!r}, running {rev!r}; refusing "
-                f"{len(lines) - 1} stale entr(ies)", file=sys.stderr,
+                f"{len(lines) - 1} stale entr(ies)",
+                legacy=True, path=self.path,
+                recorded_rev=self.stale_git_rev, running_rev=rev,
+                dropped=len(lines) - 1,
             )
             return
         self._header_written = True
@@ -484,9 +502,35 @@ def _percentile(samples: List[float], q: float) -> float:
     return samples[rank]
 
 
+def _summarize_latencies(samples: List[float]) -> Dict[str, float]:
+    if not samples:
+        return {"count": 0}
+    ordered = sorted(samples)
+    return {
+        "count": len(ordered),
+        "p50_ms": round(_percentile(ordered, 0.50) * 1e3, 3),
+        "p95_ms": round(_percentile(ordered, 0.95) * 1e3, 3),
+        "max_ms": round(ordered[-1] * 1e3, 3),
+        "mean_ms": round(sum(ordered) / len(ordered) * 1e3, 3),
+    }
+
+
 @dataclass
 class ServiceStats:
-    """Observable behaviour of the service: tier hits and latencies."""
+    """Observable behaviour of the service: tier hits and latencies.
+
+    Mutators are written from the server's compute worker thread while
+    ``stats_snapshot`` reads on the asyncio thread, so every mutation
+    and every read goes through one lock.  Callers mutate via the
+    ``record_*`` methods only — never touch the fields directly.
+
+    Besides the global latency ring, each tier keeps its own window
+    (``tier_latencies_s``): a memo hit and a cold DES run differ by
+    orders of magnitude, and one shared ring hides that behind a
+    meaningless blended p95.  When a :class:`MetricsRegistry` is
+    attached, latencies are also observed into histograms live (ring
+    buffers forget; histograms don't).
+    """
 
     tiers: Dict[str, int] = field(default_factory=lambda: {
         "analytic": 0, "memo": 0, "disk": 0, "warm": 0, "cold": 0,
@@ -496,29 +540,92 @@ class ServiceStats:
     errors: int = 0
     requests: Dict[str, int] = field(default_factory=dict)
     latencies_s: List[float] = field(default_factory=list)
+    tier_latencies_s: Dict[str, List[float]] = field(default_factory=dict)
+    registry: Optional[MetricsRegistry] = field(
+        default=None, repr=False, compare=False,
+    )
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False,
+    )
 
     def record_tier(self, tier: str) -> None:
-        self.tiers[tier] = self.tiers.get(tier, 0) + 1
+        with self._lock:
+            self.tiers[tier] = self.tiers.get(tier, 0) + 1
 
-    def record_request(self, op: str) -> None:
-        self.requests[op] = self.requests.get(op, 0) + 1
+    def record_request(self, op: str, n: int = 1) -> None:
+        with self._lock:
+            self.requests[op] = self.requests.get(op, 0) + n
 
-    def record_latency(self, seconds: float) -> None:
-        self.latencies_s.append(seconds)
-        if len(self.latencies_s) > _LATENCY_WINDOW:
-            del self.latencies_s[: len(self.latencies_s) - _LATENCY_WINDOW]
+    def record_coalesced(self) -> None:
+        with self._lock:
+            self.coalesced += 1
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+    def _observe_tier(self, seconds: float, tier: Optional[str]) -> None:
+        # Caller holds the lock.
+        if tier is not None:
+            ring = self.tier_latencies_s.setdefault(tier, [])
+            ring.append(seconds)
+            if len(ring) > _LATENCY_WINDOW:
+                del ring[: len(ring) - _LATENCY_WINDOW]
+        if self.registry is not None:
+            self.registry.histogram(
+                "serve_request_latency_seconds",
+                "end-to-end serve latency per request",
+            ).observe(seconds)
+            if tier is not None:
+                self.registry.histogram(
+                    "serve_tier_latency_seconds",
+                    "serve latency split by answering tier",
+                ).observe(seconds, tier=tier)
+
+    def record_latency(self, seconds: float,
+                       tier: Optional[str] = None) -> None:
+        with self._lock:
+            self.latencies_s.append(seconds)
+            if len(self.latencies_s) > _LATENCY_WINDOW:
+                del self.latencies_s[: len(self.latencies_s) - _LATENCY_WINDOW]
+            self._observe_tier(seconds, tier)
+
+    def record_tier_latency(self, seconds: float, tier: str) -> None:
+        """A per-tier sample that is *not* an end-to-end request (the
+        server records request latency separately at the dispatch loop)."""
+        with self._lock:
+            self._observe_tier(seconds, tier)
 
     def latency_summary(self) -> Dict[str, float]:
-        if not self.latencies_s:
-            return {"count": 0}
-        ordered = sorted(self.latencies_s)
+        with self._lock:
+            samples = list(self.latencies_s)
+        return _summarize_latencies(samples)
+
+    def latency_by_tier(self) -> Dict[str, Dict[str, float]]:
+        with self._lock:
+            windows = {
+                tier: list(ring)
+                for tier, ring in self.tier_latencies_s.items()
+            }
         return {
-            "count": len(ordered),
-            "p50_ms": round(_percentile(ordered, 0.50) * 1e3, 3),
-            "p95_ms": round(_percentile(ordered, 0.95) * 1e3, 3),
-            "max_ms": round(ordered[-1] * 1e3, 3),
-            "mean_ms": round(sum(ordered) / len(ordered) * 1e3, 3),
+            tier: _summarize_latencies(samples)
+            for tier, samples in sorted(windows.items())
         }
+
+    def snapshot(self) -> dict:
+        """A consistent copy of every counter under one lock acquisition."""
+        with self._lock:
+            return {
+                "tiers": dict(self.tiers),
+                "coalesced": self.coalesced,
+                "errors": self.errors,
+                "requests": dict(self.requests),
+                "latencies_s": list(self.latencies_s),
+                "tier_latencies_s": {
+                    tier: list(ring)
+                    for tier, ring in self.tier_latencies_s.items()
+                },
+            }
 
 
 # -- the service ----------------------------------------------------------
@@ -556,7 +663,10 @@ class PredictionService:
         )
         self.use_memo = use_memo
         self.analytic_default = analytic_default
-        self.stats = ServiceStats()
+        # Per-instance registry (tests build many services; a process
+        # global would blend their counts and break exposition == stats).
+        self.registry = MetricsRegistry()
+        self.stats = ServiceStats(registry=self.registry)
         self.started_at = time.time()
 
     # -- lookup (cheap; safe on the event-loop thread) --------------------
@@ -625,40 +735,111 @@ class PredictionService:
             self.disk.put(key, answer)
 
     # -- one-call convenience (benchmark, tests, serial callers) ----------
-    def serve(self, request: dict) -> dict:
+    def serve(self, request: dict, *,
+              trace_parent: Optional[dict] = None) -> dict:
         """Normalize, look up, compute-and-store; returns the response dict."""
         start = time.perf_counter()
-        spec, key = self.normalize(request)
-        cached = self.lookup(key)
-        if cached is not None:
-            answer, tier = cached
-        else:
-            answer, tier = self.compute(spec)
-            self.store(key, answer)
+        with span("serve.predict", "serve", parent=trace_parent,
+                  family=request.get("family"),
+                  algorithm=request.get("algorithm", "auto"),
+                  x=request.get("x")) as sp:
+            spec, key = self.normalize(request)
+            cached = self.lookup(key)
+            if cached is not None:
+                answer, tier = cached
+            else:
+                answer, tier = self.compute(spec)
+                self.store(key, answer)
+            sp.set(tier=tier, key=key)
         self.stats.record_tier(tier)
-        self.stats.record_latency(time.perf_counter() - start)
+        self.stats.record_latency(time.perf_counter() - start, tier=tier)
         return answer_response(answer, tier, key)
 
     # -- stats ------------------------------------------------------------
     def stats_snapshot(self) -> dict:
-        total = sum(self.stats.tiers.values())
+        snap = self.stats.snapshot()
+        total = sum(snap["tiers"].values())
         return {
-            "tiers": dict(self.stats.tiers),
+            "tiers": snap["tiers"],
             "hit_rates": {
                 tier: (round(count / total, 4) if total else 0.0)
-                for tier, count in self.stats.tiers.items()
+                for tier, count in snap["tiers"].items()
             },
-            "coalesced": self.stats.coalesced,
-            "errors": self.stats.errors,
-            "requests": dict(self.stats.requests),
+            "coalesced": snap["coalesced"],
+            "errors": snap["errors"],
+            "requests": snap["requests"],
             "memo": self.memo.stats() if self.use_memo else None,
             "disk": self.disk.stats() if self.disk is not None else None,
             "pool": self.pool.stats() if self.pool is not None else None,
-            "latency": self.stats.latency_summary(),
+            "latency": _summarize_latencies(snap["latencies_s"]),
+            "latency_by_tier": {
+                tier: _summarize_latencies(samples)
+                for tier, samples in sorted(snap["tier_latencies_s"].items())
+            },
             "uptime_s": round(time.time() - self.started_at, 3),
             "solver_mode": resolve_solver_config().mode,
             "git_rev": git_revision(),
         }
+
+    # -- metrics ----------------------------------------------------------
+    def _sync_metrics(self) -> None:
+        """Sync the registry's counters/gauges to the authoritative stats.
+
+        Latency histograms are observed live; everything countable is
+        synced here at exposition time from one locked stats snapshot,
+        so a scrape can never disagree with ``stats_snapshot``.
+        """
+        snap = self.stats.snapshot()
+        reg = self.registry
+        tier_answers = reg.counter(
+            "serve_tier_answers_total", "answers served, split by tier",
+        )
+        for tier, count in snap["tiers"].items():
+            tier_answers.set_total(count, tier=tier)
+        requests = reg.counter(
+            "serve_requests_total", "requests received, split by op",
+        )
+        for op, count in snap["requests"].items():
+            requests.set_total(count, op=op)
+        reg.counter(
+            "serve_coalesced_total",
+            "duplicate in-flight queries coalesced onto one computation",
+        ).set_total(snap["coalesced"])
+        reg.counter(
+            "serve_errors_total", "requests answered with an error",
+        ).set_total(snap["errors"])
+        if self.use_memo:
+            memo = self.memo.stats()
+            reg.counter(
+                "serve_memo_hits_total", "memo LRU hits",
+            ).set_total(memo["hits"])
+            reg.counter(
+                "serve_memo_misses_total", "memo LRU misses",
+            ).set_total(memo["misses"])
+            reg.gauge(
+                "serve_memo_entries", "entries resident in the memo LRU",
+            ).set(memo["entries"])
+        if self.disk is not None:
+            reg.gauge(
+                "serve_disk_entries", "entries resident in the disk cache",
+            ).set(len(self.disk))
+        if self.pool is not None:
+            pool = self.pool.stats()
+            reg.gauge(
+                "serve_pool_machines", "machines resident in the warm pool",
+            ).set(pool["machines"])
+        reg.gauge(
+            "serve_uptime_seconds", "seconds since service start",
+        ).set(round(time.time() - self.started_at, 3))
+
+    def metrics_snapshot(self) -> dict:
+        self._sync_metrics()
+        return self.registry.snapshot()
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the synced registry."""
+        self._sync_metrics()
+        return self.registry.dump_metrics()
 
 
 def answer_response(answer: CachedAnswer, tier: str, key: str) -> dict:

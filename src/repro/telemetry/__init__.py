@@ -1,6 +1,10 @@
 """Stage-level telemetry: recorder, run manifests, and report tables.
 
-See ``docs/observability.md`` for the design and role taxonomy.
+``repro.telemetry.runtime`` adds the *runtime* observability plane for
+the long-running components (serve / farm / parallel): structured logs,
+a metrics registry with Prometheus exposition, cross-component trace
+spans, and a flight recorder.  See ``docs/observability.md`` for both
+planes.
 """
 
 from repro.telemetry.manifest import (
@@ -28,10 +32,25 @@ from repro.telemetry.recorder import (
     reduce_core_role,
 )
 from repro.telemetry.report import format_report
+from repro.telemetry.runtime import (
+    MetricsRegistry,
+    RuntimeLogger,
+    SpanStore,
+    default_registry,
+    dump_flight_record,
+    parse_prometheus,
+    record_span,
+    runtime_enabled,
+    runtime_log,
+    span,
+    span_store,
+    write_runtime_trace,
+)
 
 __all__ = [
     "CampaignManifest",
     "DEFAULT_TOLERANCE",
+    "MetricsRegistry",
     "ROLE_COPIER",
     "ROLE_DMA_WAIT",
     "ROLE_INJECTOR",
@@ -39,16 +58,27 @@ __all__ = [
     "ROLE_PROTOCOL",
     "ROLE_RECEIVER",
     "RunManifest",
+    "RuntimeLogger",
+    "SpanStore",
     "TelemetryRecorder",
     "ThreadTelemetry",
     "bench_entry_solver",
     "compare_bench",
     "compare_manifests",
     "compare_with_baseline_file",
+    "default_registry",
+    "dump_flight_record",
     "format_report",
     "git_revision",
     "load_baseline",
+    "parse_prometheus",
+    "record_span",
     "reduce_core_role",
+    "runtime_enabled",
+    "runtime_log",
     "save_baseline",
+    "span",
+    "span_store",
     "spec_fingerprint",
+    "write_runtime_trace",
 ]

@@ -51,6 +51,7 @@ from repro.bench.farm import (
 from repro.bench.parallel import PointFailure, WorkerPointError, execute_points
 from repro.hardware.fault_schedule import RetryPolicy
 from repro.telemetry.manifest import CampaignManifest, spec_fingerprint
+from repro.telemetry.runtime import ENV_RUNTIME_LOG, mint_trace
 
 #: near-zero backoffs so retry paths run at test speed
 FAST_RETRY = RetryPolicy(max_attempts=3, base_backoff_us=1e3,
@@ -834,3 +835,91 @@ class TestBenchEntry:
         assert compare_bench(bench, "base", "same") == []
         drifts = compare_bench(bench, "base", "drifted")
         assert any("farm-robustness" in line for line in drifts)
+
+
+# -- runtime trace spans (docs/observability.md) -------------------------
+
+def _submit_traced(server, specs, trace, task="square"):
+    manifest = CampaignManifest.build(task, specs)
+    return rpc(server.address, "submit", manifest=manifest.to_dict(),
+               specs=specs, task=task, chunk_size=1, trace=trace)
+
+
+class TestRuntimeSpans:
+    def test_each_lease_mints_a_fresh_span_under_one_trace(self, tmp_path):
+        with _server(tmp_path, chunk_size=1) as server:
+            trace = mint_trace()
+            _submit_traced(server, _specs(2), trace)
+            first = rpc(server.address, "lease", worker="w0")
+            second = rpc(server.address, "lease", worker="w1")
+            for grant in (first, second):
+                assert grant["trace"]["trace_id"] == trace["trace_id"]
+                assert grant["trace"]["parent_span"] == trace["span_id"]
+            assert first["trace"]["span_id"] != second["trace"]["span_id"]
+
+    def test_spans_survive_crash_and_releases_get_fresh_span_ids(
+            self, tmp_path):
+        """Satellite invariant: chunk spans are journaled like campaign
+        events, so a trace assembled after a SIGKILL + ``--resume``
+        still shows pre-crash chunks, and a chunk re-leased after the
+        resume reports a *fresh* span id under the *same* trace id."""
+        specs = _specs(3)
+        path = str(tmp_path / "journal.jsonl")
+        server = _server(tmp_path, journal_path=path, chunk_size=1)
+        trace = mint_trace()
+        _submit_traced(server, specs, trace)
+        # One worker ships one chunk span; a second chunk is leased but
+        # never completed; then the server "crashes" mid-campaign.
+        FarmWorker(server.address, worker_id="early",
+                   reconnect=FAST_RECONNECT).run(max_chunks=1)
+        parked = rpc(server.address, "lease", worker="parked")
+        parked_span = parked["trace"]["span_id"]
+        server.stop()
+
+        resumed = _server(tmp_path, journal_path=path, chunk_size=1,
+                          resume=True)
+        try:
+            replayed = rpc(resumed.address, "trace")
+            # The pre-crash span and the driver's trace context both
+            # survived the journal replay.
+            assert replayed["trace"] == trace
+            assert replayed["count"] == 1
+            (span0,) = replayed["spans"]
+            assert span0["trace_id"] == trace["trace_id"]
+            assert span0["parent_id"] == trace["span_id"]
+            assert span0["name"].startswith("farm.chunk.")
+            assert span0["component"] == "farm.worker"
+            assert span0["attrs"]["worker"] == "early"
+            assert span0["end_s"] >= span0["start_s"]
+            # Re-leases (including the abandoned chunk) chain fresh span
+            # ids under the original trace.
+            seen = {span0["span_id"], parked_span}
+            while True:
+                grant = rpc(resumed.address, "lease", worker="late")
+                if "chunk" not in grant:
+                    break
+                assert grant["trace"]["trace_id"] == trace["trace_id"]
+                assert grant["trace"]["span_id"] not in seen
+                seen.add(grant["trace"]["span_id"])
+                index, spec = grant["points"][0]
+                rpc(resumed.address, "complete", worker="late",
+                    chunk=grant["chunk"],
+                    outcomes=[(index, "ok", spec["x"] ** 2)])
+            # fetch hands the journaled spans back beside the results
+            # (manual completions above shipped none).
+            payload = rpc(resumed.address, "fetch")
+            assert payload["done"] is True
+            assert [item["span_id"] for item in payload["spans"]] == (
+                [span0["span_id"]]
+            )
+        finally:
+            resumed.stop()
+
+    def test_kill_switch_keeps_spans_off_the_wire(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_RUNTIME_LOG, "0")
+        with _server(tmp_path, chunk_size=1) as server:
+            _submit_traced(server, _specs(1), mint_trace())
+            FarmWorker(server.address, worker_id="w",
+                       reconnect=FAST_RECONNECT).run(max_chunks=1)
+            assert rpc(server.address, "trace")["count"] == 0

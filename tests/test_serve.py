@@ -42,6 +42,7 @@ from repro.serve.service import (
     query_key,
 )
 from repro.telemetry.manifest import compare_bench
+from repro.telemetry.runtime import parse_prometheus
 
 #: the paper's headline crossover protocols, at test-sized points
 HEADLINE = [
@@ -364,6 +365,48 @@ class TestServer:
                 assert stats["tiers"]["memo"] >= 2
                 assert stats["latency"]["count"] >= 4
                 assert stats["server"]["inflight"] == 0
+
+    def test_metrics_and_trace_ops_mirror_stats(self):
+        with start_background_server() as background:
+            with ServeClient(background.address) as client:
+                client.predict(**HEADLINE[0])
+                client.predict(**HEADLINE[0])  # memo hit
+                client.sweep([HEADLINE[0], {**HEADLINE[0], "x": 2048}])
+                stats = client.stats()
+                metrics = client.request({"op": "metrics"})
+                trace = client.request({"op": "trace"})
+        # The registry is synced from the same locked stats snapshot the
+        # stats op reads, so the two views must agree exactly.
+        counters = metrics["metrics"]["counters"]
+        tier_counts = counters["serve_tier_answers_total"]
+        for tier, count in stats["tiers"].items():
+            assert tier_counts.get(f"tier={tier}", 0.0) == count
+        assert (counters["serve_requests_total"]["op=predict"]
+                == stats["requests"]["predict"])
+        # ...and the Prometheus exposition parses back to the same
+        # numbers (the scrape path of `repro serve --metrics-port`).
+        parsed = parse_prometheus(metrics["exposition"])
+        assert parsed["serve_tier_answers_total"] == {
+            labels: float(value) for labels, value in tier_counts.items()
+        }
+        latency = metrics["metrics"]["histograms"][
+            "serve_request_latency_seconds"
+        ][""]
+        assert latency["count"] >= 4
+        # The trace op exposes the finished serve spans: the sweep query
+        # span parents its compute-batch span within one trace.
+        spans = trace["spans"]
+        assert {"serve.predict", "serve.sweep"} <= {
+            item["name"] for item in spans
+        }
+        sweeps = [item for item in spans if item["name"] == "serve.sweep"]
+        batches = [item for item in spans
+                   if item["name"] == "serve.sweep.batch"]
+        assert any(
+            batch["parent_id"] == sweep["span_id"]
+            and batch["trace_id"] == sweep["trace_id"]
+            for sweep in sweeps for batch in batches
+        )
 
     def test_sweep_batch_answers_bit_identical(self):
         with start_background_server() as background:
